@@ -1,0 +1,44 @@
+// Command experiments runs the complete reproduction suite — every paper
+// figure and every quantitative claim (see DESIGN.md's per-experiment
+// index) — and prints each result table. Output is deterministic: all
+// costs are virtual ticks, passes or cells, never wall time.
+//
+// Usage:
+//
+//	experiments [-only ID]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"statdb/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E4)")
+	flag.Parse()
+
+	ran := 0
+	for _, ex := range bench.All() {
+		if *only != "" && !strings.EqualFold(*only, ex.ID) {
+			continue
+		}
+		tab, err := ex.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", ex.ID, err)
+			os.Exit(1)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+// Command statdb is an interactive shell over the statistical DBMS: it
+// boots a synthetic census raw database onto the simulated tape archive
+// and accepts the query language (type `help`).
+//
+// Usage:
+//
+//	statdb [-analyst NAME] [-scale N] [-db DIR] [-e "command"]...
+//
+// With -e flags the given commands run non-interactively; otherwise a
+// REPL starts on stdin. With -db the catalog in DIR is loaded on start
+// (if present) and the session state is saved back on exit, so analyses
+// persist across sessions.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"path/filepath"
+
+	"statdb/internal/catalog"
+	"statdb/internal/core"
+	"statdb/internal/query"
+	"statdb/internal/workload"
+)
+
+type commandList []string
+
+func (c *commandList) String() string { return fmt.Sprint(*c) }
+
+func (c *commandList) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	analyst := flag.String("analyst", "analyst1", "analyst identity for this session")
+	scale := flag.Int("scale", 1, "census size multiplier (regions x scale)")
+	db := flag.String("db", "", "catalog directory: load on start, save on quit")
+	var cmds commandList
+	flag.Var(&cmds, "e", "command to execute (repeatable); suppresses the REPL")
+	flag.Parse()
+
+	if err := run(*analyst, *scale, *db, cmds, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "statdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(analyst string, scale int, dbDir string, cmds []string, in io.Reader, out io.Writer) error {
+	var d *core.DBMS
+	if dbDir != "" {
+		if _, err := os.Stat(filepath.Join(dbDir, "manifest.json")); err == nil {
+			loaded, err := catalog.Load(dbDir)
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", dbDir, err)
+			}
+			d = loaded
+			fmt.Fprintf(out, "loaded database from %s\n", dbDir)
+		}
+	}
+	if d == nil {
+		d = core.New()
+		spec := workload.DefaultCensusSpec()
+		if scale > 1 {
+			spec.Regions *= scale
+		}
+		census, err := workload.Census(spec)
+		if err != nil {
+			return err
+		}
+		if err := d.LoadRaw("census80", census); err != nil {
+			return err
+		}
+		if err := d.LoadRaw("figure1", workload.Figure1()); err != nil {
+			return err
+		}
+	}
+	saveOnExit := func() error {
+		if dbDir == "" {
+			return nil
+		}
+		if err := catalog.Save(d, dbDir); err != nil {
+			return fmt.Errorf("saving %s: %w", dbDir, err)
+		}
+		fmt.Fprintf(out, "database saved to %s\n", dbDir)
+		return nil
+	}
+	e := query.NewExecutor(d, analyst, out)
+
+	if len(cmds) > 0 {
+		for _, c := range cmds {
+			if err := e.Run(c); err != nil {
+				return fmt.Errorf("%q: %w", c, err)
+			}
+		}
+		return saveOnExit()
+	}
+
+	fmt.Fprintf(out, "statdb — statistical database management (analyst %s)\n", analyst)
+	fmt.Fprintf(out, "raw files: %v. Type 'help'.\n", d.Archive().Files())
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "statdb> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			if err := sc.Err(); err != nil {
+				return err
+			}
+			return saveOnExit()
+		}
+		line := sc.Text()
+		if line == "quit" || line == "exit" {
+			return saveOnExit()
+		}
+		if err := e.Run(line); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package statdb is a reproduction of "A Framework for Research in
+// Database Management for Statistical Analysis" (Boral, DeWitt, Bates;
+// University of Wisconsin–Madison TR #465, February 1982; SIGMOD 1982).
+//
+// The library implements the paper's full architecture (Figure 3):
+// concrete per-analyst views materialized from a raw database on
+// simulated sequential storage, a Summary Database per view caching
+// function results with rule-driven maintenance (finite-differenced
+// aggregates, sliding median windows, lazy invalidation), and a shared
+// Management Database of update rules, view definitions and undoable
+// update histories — plus the substrates it depends on: a WiSS-like
+// paged storage engine, transposed (column) files with run-length
+// compression, a B+-tree index, relational operators, and a statistical
+// function library.
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for the measured results, cmd/experiments for the
+// reproduction suite, cmd/statdb for an interactive shell, and
+// examples/ for runnable walkthroughs.
+package statdb

@@ -1,0 +1,126 @@
+// Multiview: several analysts over one raw database (Section 2.3) —
+// private views, publication of cleaned data, rejection of wasteful
+// duplicate materializations, and a SUBJECT-style metadata navigation
+// that generates a view request.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"statdb/internal/core"
+	"statdb/internal/dataset"
+	"statdb/internal/relalg"
+	"statdb/internal/rules"
+	"statdb/internal/workload"
+)
+
+func main() {
+	dbms := core.New()
+	census, err := workload.Census(workload.DefaultCensusSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dbms.LoadRaw("census80", census); err != nil {
+		log.Fatal(err)
+	}
+
+	// Analyst 1 studies pollution effects by race; cleans the data and
+	// publishes the result.
+	boral := dbms.Analyst("boral")
+	mb := boral.Materialize("census80")
+	mb.Builder().Select(relalg.Cmp{Attr: "REGION", Op: relalg.Le, Val: dataset.Int(3)})
+	byRace, err := mb.Build("northeast")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := byRace.InvalidateWhere("AVE_SALARY",
+		relalg.Cmp{Attr: "AVE_SALARY", Op: relalg.Gt, Val: dataset.Int(35000)}); err != nil {
+		log.Fatal(err)
+	}
+	if err := boral.Publish("northeast"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("boral published %q (%d rows, cleaned)\n", byRace.Name(), byRace.Rows())
+
+	// Analyst 2 tries to rebuild the same view: the Management Database
+	// recognizes the identical derivation and refuses, pointing at the
+	// published one — no tape pass is wasted.
+	dewitt := dbms.Analyst("dewitt")
+	mb2 := dewitt.Materialize("census80")
+	mb2.Builder().Select(relalg.Cmp{Attr: "REGION", Op: relalg.Le, Val: dataset.Int(3)})
+	_, err = mb2.Build("northeast-again")
+	var dup *rules.ErrDuplicateView
+	if errors.As(err, &dup) {
+		fmt.Printf("dewitt's re-materialization rejected: reuse %q (by %s)\n", dup.Existing, dup.Analyst)
+	} else {
+		log.Fatalf("expected duplicate rejection, got %v", err)
+	}
+
+	// Instead, analyst 2 opens the published view and examines the
+	// cleaning history before analyzing.
+	shared, err := dewitt.View("northeast")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cleaning actions on the shared view:")
+	for _, rec := range shared.History().Records() {
+		fmt.Printf("  #%d %s: %s\n", rec.Seq, rec.Analyst, rec.Description)
+	}
+	med, err := shared.Compute("median", "AVE_SALARY")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dewitt: median AVE_SALARY in the cleaned view = %.0f\n\n", med)
+
+	// Analyst 3 finds her attributes by navigating the metadata graph
+	// rather than reading a 200-page code book.
+	g := dbms.Meta()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	_, err = g.AddGeneralization("Census", "1980 public use sample")
+	must(err)
+	_, err = g.AddGeneralization("Demographics", "who")
+	must(err)
+	_, err = g.AddGeneralization("Economics", "what they earn")
+	must(err)
+	_, err = g.AddAttribute("Sex", "sex", "census80", "SEX")
+	must(err)
+	_, err = g.AddAttribute("AgeGroup", "age group code", "census80", "AGE_GROUP")
+	must(err)
+	_, err = g.AddAttribute("Salary", "average salary", "census80", "AVE_SALARY")
+	must(err)
+	_, err = g.AddAttribute("Population", "cell population", "census80", "POPULATION")
+	must(err)
+	must(g.Link("Census", "Demographics"))
+	must(g.Link("Census", "Economics"))
+	must(g.Link("Demographics", "Sex"))
+	must(g.Link("Demographics", "AgeGroup"))
+	must(g.Link("Economics", "Salary"))
+	must(g.Link("Economics", "Population"))
+
+	sess, err := g.NewSession("Census")
+	must(err)
+	must(sess.Descend("Economics"))
+	must(sess.Mark())
+	fmt.Printf("bates navigated: %s (marked all economics attributes)\n", sess.Path())
+	req, err := sess.Request()
+	must(err)
+	v3, err := dbms.Analyst("bates").MaterializeFromMeta(req, "economics")
+	must(err)
+	fmt.Printf("view generated from the path: %s\n", v3.Dataset().Schema())
+
+	fmt.Println("\nall registered views:")
+	for _, name := range dbms.Management().Views() {
+		def, _ := dbms.Management().View(name)
+		vis := "private"
+		if def.Public {
+			vis = "public"
+		}
+		fmt.Printf("  %-12s analyst=%-8s %s\n", name, def.Analyst, vis)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: the smallest end-to-end use of the statistical DBMS —
+// archive a raw data set, materialize a concrete view, compute cached
+// summary statistics, update the view, and undo.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statdb/internal/core"
+	"statdb/internal/dataset"
+	"statdb/internal/relalg"
+	"statdb/internal/workload"
+)
+
+func main() {
+	// A DBMS over a simulated tape archive holding the raw database.
+	dbms := core.New()
+	if err := dbms.LoadRaw("figure1", workload.Figure1()); err != nil {
+		log.Fatal(err)
+	}
+
+	// An analyst materializes a private concrete view: White rows only,
+	// decoded age groups, sorted by salary.
+	analyst := dbms.Analyst("quickstart")
+	mb := analyst.Materialize("figure1")
+	mb.Builder().
+		Select(relalg.Cmp{Attr: "RACE", Op: relalg.Eq, Val: dataset.String("W")}).
+		Decode("AGE_GROUP").
+		Sort(relalg.SortKey{Attr: "AVE_SALARY"})
+	v, err := mb.Build("whites")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized view %q: %d rows\n", v.Name(), v.Rows())
+	fmt.Println(v.Dataset())
+
+	// Summary statistics are computed once and then served from the
+	// view's Summary Database.
+	for _, fn := range []string{"min", "max", "mean", "median"} {
+		val, err := v.Compute(fn, "AVE_SALARY")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8s(AVE_SALARY) = %.1f\n", fn, val)
+	}
+	fmt.Printf("cache: %+v\n", v.Summary().Counters())
+
+	// An update propagates into the cached summaries automatically...
+	n, err := v.UpdateWhere("AVE_SALARY",
+		relalg.Cmp{Attr: "AVE_SALARY", Op: relalg.Lt, Val: dataset.Int(16000)},
+		dataset.Null)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninvalidated %d suspicious salaries\n", n)
+	m, _ := v.Compute("mean", "AVE_SALARY")
+	fmt.Printf("mean after invalidation = %.1f\n", m)
+
+	// ...and can be undone from the Management Database's history.
+	if err := v.Undo(); err != nil {
+		log.Fatal(err)
+	}
+	m, _ = v.Compute("mean", "AVE_SALARY")
+	fmt.Printf("mean after undo         = %.1f\n", m)
+}

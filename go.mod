@@ -1,0 +1,3 @@
+module statdb
+
+go 1.22

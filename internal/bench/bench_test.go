@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment and sanity-checks its
+// table shape. The per-experiment assertions below check the claims.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tab, err := ex.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", ex.ID, err)
+			}
+			if tab.ID != ex.ID {
+				t.Errorf("table id %q != %q", tab.ID, ex.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Errorf("row %d has %d cells for %d headers", i, len(row), len(tab.Header))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), tab.Title) {
+				t.Error("render missing title")
+			}
+		})
+	}
+}
+
+// cell parses tab.Rows[r][c] as a float, stripping a trailing "x".
+func cell(t *testing.T, tab *Table, r, c int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Rows[r][c], "x")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", r, c, tab.Rows[r][c], err)
+	}
+	return v
+}
+
+func TestE1ShapeCacheWins(t *testing.T) {
+	tab, err := E1SummaryCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In every row the cached pass count is below the uncached count, and
+	// savings grow with bias.
+	prevSaving := 0.0
+	for r := range tab.Rows {
+		noCache := cell(t, tab, r, 3)
+		cached := cell(t, tab, r, 4)
+		if cached >= noCache {
+			t.Errorf("row %d: cache did not save (%g vs %g)", r, cached, noCache)
+		}
+		saving := noCache / cached
+		if saving < prevSaving {
+			t.Errorf("row %d: saving %g fell below previous %g", r, saving, prevSaving)
+		}
+		prevSaving = saving
+	}
+}
+
+func TestE2ShapeGapGrowsWithN(t *testing.T) {
+	tab, err := E2Incremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for r := range tab.Rows {
+		full := cell(t, tab, r, 2)
+		incr := cell(t, tab, r, 3)
+		if incr >= full {
+			t.Errorf("row %d: incremental not cheaper", r)
+		}
+		red := full / incr
+		if red < prev {
+			t.Errorf("row %d: reduction %g shrank from %g", r, red, prev)
+		}
+		prev = red
+	}
+}
+
+func TestE3ShapeWindowBeatsRecompute(t *testing.T) {
+	tab, err := E3MedianWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevRebuilds := int64(1 << 60)
+	for r := range tab.Rows {
+		full := cell(t, tab, r, 2)
+		win := cell(t, tab, r, 3)
+		if win*10 > full {
+			t.Errorf("row %d: window only %gx better", r, full/win)
+		}
+		rb := int64(cell(t, tab, r, 4))
+		if rb > prevRebuilds {
+			t.Errorf("row %d: wider window rebuilt more (%d > %d)", r, rb, prevRebuilds)
+		}
+		prevRebuilds = rb
+	}
+}
+
+func TestE4ShapeCrossover(t *testing.T) {
+	tab, err := E4Transposed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First row: 1 of 7 columns — transposed must win.
+	if tab.Rows[0][3] != "transposed" {
+		t.Errorf("1-column scan winner = %s", tab.Rows[0][3])
+	}
+	// Last row: informational query — row file must win.
+	last := len(tab.Rows) - 1
+	if tab.Rows[last][3] != "row file" {
+		t.Errorf("informational winner = %s", tab.Rows[last][3])
+	}
+}
+
+func TestE5ShapeColumnCompressionWins(t *testing.T) {
+	tab, err := E5Compression()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsCol := cell(t, tab, 0, 1)
+	runsRow := cell(t, tab, 0, 2)
+	if runsCol >= runsRow {
+		t.Errorf("column runs %g >= row runs %g", runsCol, runsRow)
+	}
+	sizeCol := cell(t, tab, 1, 1)
+	sizeRow := cell(t, tab, 1, 2)
+	if sizeCol >= sizeRow {
+		t.Errorf("column bytes %g >= row bytes %g", sizeCol, sizeRow)
+	}
+}
+
+func TestE6ShapeAmortization(t *testing.T) {
+	tab, err := E6Materialization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advantage must grow with uses and exceed 1 by the last row.
+	prev := 0.0
+	for r := range tab.Rows {
+		derive := cell(t, tab, r, 1)
+		concrete := cell(t, tab, r, 2)
+		adv := derive / concrete
+		if adv < prev {
+			t.Errorf("row %d: advantage %g fell from %g", r, adv, prev)
+		}
+		prev = adv
+	}
+	if prev <= 1.5 {
+		t.Errorf("final advantage only %g", prev)
+	}
+}
+
+func TestE7ShapePolicies(t *testing.T) {
+	tab, err := E7Policies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		perFn := cell(t, tab, r, 1)
+		recompute := cell(t, tab, r, 3)
+		if recompute < perFn {
+			t.Errorf("mix %s: recompute-all (%g) beat per-function (%g)", tab.Rows[r][0], recompute, perFn)
+		}
+	}
+}
+
+func TestE8ShapeSamplingError(t *testing.T) {
+	tab, err := E8Sampling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full scan has zero error; smallest fraction has the largest
+	// expected error.
+	last := len(tab.Rows) - 1
+	if got := cell(t, tab, last, 2); got != 0 {
+		t.Errorf("full-scan error = %g", got)
+	}
+	first := cell(t, tab, 0, 4)
+	lastExp := cell(t, tab, last, 4)
+	if first <= lastExp {
+		t.Errorf("expected error did not shrink: %g -> %g", first, lastExp)
+	}
+}
+
+func TestE9ShapeLocalVsGlobal(t *testing.T) {
+	tab, err := E9DerivedRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		local := cell(t, tab, r, 2)
+		global := cell(t, tab, r, 3)
+		if local >= global {
+			t.Errorf("row %d: local (%g) not cheaper than global (%g)", r, local, global)
+		}
+	}
+}
+
+func TestE10ShapeBounds(t *testing.T) {
+	tab, err := E10Abstract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		if tab.Rows[r][4] != "yes" {
+			t.Errorf("%s estimate outside its stated bound", tab.Rows[r][0])
+		}
+	}
+}
+
+func TestE11ShapeMachineScales(t *testing.T) {
+	tab, err := E11DatabaseMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each use case (rows come in groups of 3 by processors),
+	// machine ticks must fall as processors rise, and speedup >= 1.
+	for g := 0; g < len(tab.Rows); g += 3 {
+		prev := int64(1 << 62)
+		for r := g; r < g+3; r++ {
+			machine := int64(cell(t, tab, r, 3))
+			host := int64(cell(t, tab, r, 2))
+			if machine > prev {
+				t.Errorf("row %d: machine ticks rose with processors", r)
+			}
+			procs := int64(cell(t, tab, r, 1))
+			// A 1-processor machine may trail the host by its merge
+			// overhead (one partial per processor); never by more.
+			if machine > host+procs {
+				t.Errorf("row %d: machine (%d) slower than host (%d) beyond merge overhead", r, machine, host)
+			}
+			prev = machine
+		}
+	}
+}
+
+func TestE12ShapeBackingAsymmetry(t *testing.T) {
+	tab, err := E12ViewBacking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][3] != "transposed" {
+		t.Errorf("first-touch winner = %s", tab.Rows[0][3])
+	}
+	// Cache-hit phase costs nothing on either backing.
+	if cell(t, tab, 1, 1) != 0 || cell(t, tab, 1, 2) != 0 {
+		t.Errorf("cache-hit phase cost I/O: %v", tab.Rows[1])
+	}
+	if tab.Rows[2][3] != "row file" {
+		t.Errorf("informational winner = %s", tab.Rows[2][3])
+	}
+}
+
+func TestA1ShapeClusteredScan(t *testing.T) {
+	tab, err := AblationClustering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		clustered := cell(t, tab, r, 2)
+		full := cell(t, tab, r, 3)
+		if clustered >= full {
+			t.Errorf("row %d: clustered scan no cheaper", r)
+		}
+	}
+}
+
+func TestA2ShapeWiderWindowsRebuildLess(t *testing.T) {
+	tab, err := AblationWindowWidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 60
+	for r := range tab.Rows {
+		rb := int(cell(t, tab, r, 2))
+		if rb > prev {
+			t.Errorf("row %d: rebuilds increased with width", r)
+		}
+		prev = rb
+	}
+}
+
+func TestA3ShapeAdaptiveNearBest(t *testing.T) {
+	tab, err := AblationAutoReorg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		rowT := cell(t, tab, r, 1)
+		colT := cell(t, tab, r, 2)
+		adT := cell(t, tab, r, 3)
+		best := rowT
+		if colT < best {
+			best = colT
+		}
+		worst := rowT
+		if colT > worst {
+			worst = colT
+		}
+		if adT > worst {
+			t.Errorf("row %d: adaptive (%g) worse than worst static (%g)", r, adT, worst)
+		}
+		if adT > 3*best {
+			t.Errorf("row %d: adaptive (%g) more than 3x best static (%g)", r, adT, best)
+		}
+	}
+}
+
+func TestA4ShapeUndoTradeoff(t *testing.T) {
+	tab, err := AblationUndo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	physLog := cell(t, tab, 0, 3)
+	replayLog := cell(t, tab, 1, 3)
+	if replayLog >= physLog {
+		t.Errorf("replay log (%g) not smaller than physical (%g)", replayLog, physLog)
+	}
+	physUndo := cell(t, tab, 0, 4)
+	replayUndo := cell(t, tab, 1, 4)
+	if physUndo >= replayUndo {
+		t.Errorf("physical undo (%g) not cheaper than replay (%g)", physUndo, replayUndo)
+	}
+}
+
+func TestA5ShapePoolCoverage(t *testing.T) {
+	tab, err := AblationBufferPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		frames := int(cell(t, tab, r, 0))
+		pages := int(cell(t, tab, r, 1))
+		repeatReads := int(cell(t, tab, r, 3))
+		if frames >= pages && repeatReads != 0 {
+			t.Errorf("row %d: covering pool still re-read %d pages", r, repeatReads)
+		}
+		if frames < pages && repeatReads == 0 {
+			t.Errorf("row %d: undersized pool read nothing", r)
+		}
+	}
+}
+
+func TestFigureTables(t *testing.T) {
+	f1, err := Figure1Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Rows) != 9 {
+		t.Errorf("F1 rows = %d", len(f1.Rows))
+	}
+	f4, err := Figure4SummaryDB()
+	if err != nil {
+		t.Fatal(err) // F4 internally verifies the paper's printed values
+	}
+	if len(f4.Rows) != 3 {
+		t.Errorf("F4 rows = %d", len(f4.Rows))
+	}
+}

@@ -1,0 +1,12 @@
+package bench
+
+import (
+	"statdb/internal/colstore"
+	"statdb/internal/dataset"
+	"statdb/internal/storage"
+)
+
+// colstoreLoad builds a transposed file over dev with default encodings.
+func colstoreLoad(dev *storage.MemDevice, ds *dataset.Dataset) (*colstore.File, error) {
+	return colstore.Load(storage.NewBufferPool(dev, 4), ds, colstore.Options{})
+}

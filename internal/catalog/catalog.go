@@ -1,0 +1,248 @@
+// Package catalog persists a DBMS's logical state to a directory and
+// restores it: the raw archive's files, every concrete view's current
+// contents and definition, and publication flags. Runtime state — Summary
+// Database caches and update histories — is deliberately not persisted:
+// caches rebuild on demand (the Section 4.3 lazy path) and histories are
+// session artifacts of a running analysis.
+//
+// On-disk layout:
+//
+//	<dir>/manifest.json       schemas, view definitions, code tables
+//	<dir>/raw/<name>.csv      one CSV per archived raw file
+//	<dir>/views/<name>.csv    one CSV per concrete view
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"statdb/internal/core"
+	"statdb/internal/dataset"
+)
+
+// schemaJSON serializes a dataset schema.
+type schemaJSON struct {
+	Attrs []attrJSON `json:"attrs"`
+}
+
+type attrJSON struct {
+	Name         string         `json:"name"`
+	Kind         string         `json:"kind"`
+	Category     bool           `json:"category,omitempty"`
+	Summarizable bool           `json:"summarizable,omitempty"`
+	Derived      string         `json:"derived,omitempty"`
+	CodeTable    *codeTableJSON `json:"code_table,omitempty"`
+}
+
+type codeTableJSON struct {
+	Name  string            `json:"name"`
+	Codes map[string]string `json:"codes"` // decimal code -> label
+}
+
+type fileJSON struct {
+	Name   string     `json:"name"`
+	Schema schemaJSON `json:"schema"`
+}
+
+type viewJSON struct {
+	Name    string     `json:"name"`
+	Analyst string     `json:"analyst"`
+	Source  string     `json:"source"`
+	Ops     []string   `json:"ops"`
+	Public  bool       `json:"public"`
+	Schema  schemaJSON `json:"schema"`
+}
+
+type manifest struct {
+	Version int        `json:"version"`
+	Raw     []fileJSON `json:"raw"`
+	Views   []viewJSON `json:"views"`
+}
+
+func kindString(k dataset.Kind) string {
+	switch k {
+	case dataset.KindInt:
+		return "int"
+	case dataset.KindFloat:
+		return "float"
+	default:
+		return "string"
+	}
+}
+
+func kindFromString(s string) (dataset.Kind, error) {
+	switch s {
+	case "int":
+		return dataset.KindInt, nil
+	case "float":
+		return dataset.KindFloat, nil
+	case "string":
+		return dataset.KindString, nil
+	}
+	return dataset.KindInvalid, fmt.Errorf("catalog: unknown kind %q", s)
+}
+
+func schemaToJSON(s *dataset.Schema) schemaJSON {
+	out := schemaJSON{}
+	for i := 0; i < s.Len(); i++ {
+		a := s.At(i)
+		aj := attrJSON{
+			Name: a.Name, Kind: kindString(a.Kind), Category: a.Category,
+			Summarizable: a.Summarizable, Derived: a.Derived,
+		}
+		if a.Code != nil {
+			ct := &codeTableJSON{Name: a.Code.Name(), Codes: map[string]string{}}
+			for _, code := range a.Code.Codes() {
+				label, _ := a.Code.Decode(code)
+				ct.Codes[fmt.Sprint(code)] = label
+			}
+			aj.CodeTable = ct
+		}
+		out.Attrs = append(out.Attrs, aj)
+	}
+	return out
+}
+
+func schemaFromJSON(sj schemaJSON) (*dataset.Schema, error) {
+	attrs := make([]dataset.Attribute, 0, len(sj.Attrs))
+	for _, aj := range sj.Attrs {
+		kind, err := kindFromString(aj.Kind)
+		if err != nil {
+			return nil, err
+		}
+		a := dataset.Attribute{
+			Name: aj.Name, Kind: kind, Category: aj.Category,
+			Summarizable: aj.Summarizable, Derived: aj.Derived,
+		}
+		if aj.CodeTable != nil {
+			ct := dataset.NewCodeTable(aj.CodeTable.Name)
+			for codeStr, label := range aj.CodeTable.Codes {
+				var code int64
+				if _, err := fmt.Sscan(codeStr, &code); err != nil {
+					return nil, fmt.Errorf("catalog: bad code %q: %w", codeStr, err)
+				}
+				if err := ct.Define(code, label); err != nil {
+					return nil, err
+				}
+			}
+			a.Code = ct
+		}
+		attrs = append(attrs, a)
+	}
+	return dataset.NewSchema(attrs...)
+}
+
+func writeDatasetCSV(path string, ds *dataset.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readDatasetCSV(path string, sch *dataset.Schema) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, sch)
+}
+
+// Save writes the DBMS's logical state under dir (created if absent).
+func Save(d *core.DBMS, dir string) error {
+	for _, sub := range []string{"raw", "views"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	m := manifest{Version: 1}
+	for _, name := range d.Archive().Files() {
+		ds, err := d.Archive().Materialize(name)
+		if err != nil {
+			return fmt.Errorf("catalog: raw file %s: %w", name, err)
+		}
+		m.Raw = append(m.Raw, fileJSON{Name: name, Schema: schemaToJSON(ds.Schema())})
+		if err := writeDatasetCSV(filepath.Join(dir, "raw", name+".csv"), ds); err != nil {
+			return err
+		}
+	}
+	for _, name := range d.Management().Views() {
+		def, _ := d.Management().View(name)
+		v, err := d.AnyView(name)
+		if err != nil {
+			return err
+		}
+		m.Views = append(m.Views, viewJSON{
+			Name: name, Analyst: def.Analyst, Source: def.Source,
+			Ops: def.Ops, Public: def.Public,
+			Schema: schemaToJSON(v.Dataset().Schema()),
+		})
+		if err := writeDatasetCSV(filepath.Join(dir, "views", name+".csv"), v.Dataset()); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
+}
+
+// Load restores a DBMS from dir. Views come back with their definitions
+// (including publication) and current contents; caches and histories
+// start empty.
+func Load(dir string) (*core.DBMS, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("catalog: manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("catalog: unsupported manifest version %d", m.Version)
+	}
+	d := core.New()
+	for _, fj := range m.Raw {
+		sch, err := schemaFromJSON(fj.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: raw %s: %w", fj.Name, err)
+		}
+		ds, err := readDatasetCSV(filepath.Join(dir, "raw", fj.Name+".csv"), sch)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: raw %s: %w", fj.Name, err)
+		}
+		ds.SetName(fj.Name)
+		if err := d.LoadRaw(fj.Name, ds); err != nil {
+			return nil, err
+		}
+	}
+	for _, vj := range m.Views {
+		sch, err := schemaFromJSON(vj.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: view %s: %w", vj.Name, err)
+		}
+		ds, err := readDatasetCSV(filepath.Join(dir, "views", vj.Name+".csv"), sch)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: view %s: %w", vj.Name, err)
+		}
+		analyst := d.Analyst(vj.Analyst)
+		if _, err := analyst.AdoptDataset(vj.Name, ds, vj.Source, vj.Ops); err != nil {
+			return nil, fmt.Errorf("catalog: view %s: %w", vj.Name, err)
+		}
+		if vj.Public {
+			if err := analyst.Publish(vj.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}

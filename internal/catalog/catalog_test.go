@@ -1,0 +1,145 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"statdb/internal/core"
+	"statdb/internal/dataset"
+	"statdb/internal/relalg"
+	"statdb/internal/workload"
+)
+
+func buildDBMS(t *testing.T) *core.DBMS {
+	t.Helper()
+	d := core.New()
+	if err := d.LoadRaw("figure1", workload.Figure1()); err != nil {
+		t.Fatal(err)
+	}
+	micro := workload.Microdata(500, 3)
+	if err := d.LoadRaw("people", micro); err != nil {
+		t.Fatal(err)
+	}
+	a := d.Analyst("boral")
+	mb := a.Materialize("figure1")
+	mb.Builder().Select(relalg.Cmp{Attr: "RACE", Op: relalg.Eq, Val: dataset.String("W")})
+	v, err := mb.Build("whites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the view so saved contents differ from a re-derivation.
+	if _, err := v.InvalidateWhere("AVE_SALARY",
+		relalg.Cmp{Attr: "AVE_SALARY", Op: relalg.Lt, Val: dataset.Int(16000)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Publish("whites"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Analyst("bates").Materialize("people").Build("all-people"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := buildDBMS(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Save(d, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw files restored with schemas.
+	files := restored.Archive().Files()
+	if len(files) != 2 {
+		t.Fatalf("raw files = %v", files)
+	}
+	fig1, err := restored.Archive().Materialize("figure1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig1.Rows() != 9 {
+		t.Fatalf("figure1 rows = %d", fig1.Rows())
+	}
+	// Code table survived.
+	age, ok := fig1.Schema().Lookup("AGE_GROUP")
+	if !ok || age.Code == nil {
+		t.Fatal("AGE_GROUP code table lost")
+	}
+	if l, ok := age.Code.Decode(4); !ok || l != "over 60" {
+		t.Errorf("decode(4) = %q, %v", l, ok)
+	}
+	if !age.Category {
+		t.Error("category flag lost")
+	}
+
+	// Views restored with contents (including the invalidated cell),
+	// ownership and publication.
+	v, err := restored.Analyst("dewitt").View("whites") // public: visible to anyone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rows() != 8 {
+		t.Fatalf("whites rows = %d", v.Rows())
+	}
+	missing, _ := v.Dataset().MissingCount("AVE_SALARY")
+	if missing != 1 {
+		t.Errorf("missing = %d, want 1 (the data-cleaning edit)", missing)
+	}
+	// Private view still private.
+	if _, err := restored.Analyst("boral").View("all-people"); err == nil {
+		t.Error("private view leaked after restore")
+	}
+	if _, err := restored.Analyst("bates").View("all-people"); err != nil {
+		t.Errorf("owner lost access: %v", err)
+	}
+	// The cache works against restored views.
+	med, err := v.Compute("median", "AVE_SALARY")
+	if err != nil || med == 0 {
+		t.Errorf("median = %g, %v", med, err)
+	}
+	// Duplicate-derivation detection still armed: same ops rejected.
+	mb := restored.Analyst("boral").Materialize("figure1")
+	mb.Builder().Select(relalg.Cmp{Attr: "RACE", Op: relalg.Eq, Val: dataset.String("W")})
+	if _, err := mb.Build("whites2"); err == nil {
+		t.Error("duplicate derivation accepted after restore")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing directory accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("broken manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"version":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestSaveIsRewritable(t *testing.T) {
+	d := buildDBMS(t)
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := Save(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Saving again over the same directory succeeds (overwrite).
+	if err := Save(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatal(err)
+	}
+}

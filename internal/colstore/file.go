@@ -1,0 +1,515 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"statdb/internal/dataset"
+	"statdb/internal/storage"
+)
+
+// Encoding selects how a column's pages are laid out.
+type Encoding uint8
+
+const (
+	// Plain stores fixed-width 8-byte values with a validity bitmap.
+	// Supports in-place updates.
+	Plain Encoding = iota
+	// RLE stores run-length-encoded values. Denser for low-cardinality or
+	// sorted columns but updates force a whole-column rewrite — the
+	// update-hostility of compressed transposed files the paper notes.
+	RLE
+)
+
+func (e Encoding) String() string {
+	if e == RLE {
+		return "rle"
+	}
+	return "plain"
+}
+
+// Plain page layout: uint16 count, validity bitmap (plainCap bits), then
+// count 8-byte little-endian payloads. plainCap chosen so a full page
+// fits: 4 + 60 + 480*8 = 3904 <= 4096.
+const plainCap = 480
+
+// RLE page layout: uint16 logical count, uint16 run count, runs.
+
+type columnMeta struct {
+	name     string
+	kind     dataset.Kind
+	enc      Encoding
+	pages    []storage.PageID
+	rowStart []int // first logical row of each page
+	rows     int
+	dict     []string         // string columns: id -> label
+	dictIdx  map[string]int64 // string columns: label -> id
+}
+
+// File is a transposed file: one contiguous page run per column over a
+// shared device.
+type File struct {
+	pool   *storage.BufferPool
+	schema *dataset.Schema
+	cols   []*columnMeta
+	rows   int
+}
+
+// Options configures Load.
+type Options struct {
+	// Encode selects the encoding per attribute name; attributes absent
+	// from the map use Plain.
+	Encode map[string]Encoding
+}
+
+// Load writes ds into a new transposed file on pool's device, column by
+// column so each column's pages are physically contiguous.
+func Load(pool *storage.BufferPool, ds *dataset.Dataset, opts Options) (*File, error) {
+	f := &File{pool: pool, schema: ds.Schema(), rows: ds.Rows()}
+	for c := 0; c < ds.Schema().Len(); c++ {
+		attr := ds.Schema().At(c)
+		enc := opts.Encode[attr.Name]
+		meta, err := writeColumn(pool, ds, c, enc)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: column %q: %w", attr.Name, err)
+		}
+		f.cols = append(f.cols, meta)
+	}
+	return f, nil
+}
+
+// columnValues extracts column c of ds as (payload, null) pairs, building
+// the dictionary for string columns.
+func columnValues(ds *dataset.Dataset, c int, meta *columnMeta) ([]int64, []bool) {
+	n := ds.Rows()
+	vals := make([]int64, n)
+	nulls := make([]bool, n)
+	for i := 0; i < n; i++ {
+		v := ds.Cell(i, c)
+		if v.IsNull() {
+			nulls[i] = true
+			continue
+		}
+		switch meta.kind {
+		case dataset.KindInt:
+			vals[i] = v.AsInt()
+		case dataset.KindFloat:
+			vals[i] = int64(math.Float64bits(v.AsFloat()))
+		case dataset.KindString:
+			s := v.AsString()
+			id, ok := meta.dictIdx[s]
+			if !ok {
+				id = int64(len(meta.dict))
+				meta.dict = append(meta.dict, s)
+				meta.dictIdx[s] = id
+			}
+			vals[i] = id
+		}
+	}
+	return vals, nulls
+}
+
+func writeColumn(pool *storage.BufferPool, ds *dataset.Dataset, c int, enc Encoding) (*columnMeta, error) {
+	attr := ds.Schema().At(c)
+	meta := &columnMeta{
+		name: attr.Name, kind: attr.Kind, enc: enc,
+		rows: ds.Rows(), dictIdx: make(map[string]int64),
+	}
+	vals, nulls := columnValues(ds, c, meta)
+	if enc == RLE {
+		return meta, writeRLEPages(pool, meta, vals, nulls)
+	}
+	return meta, writePlainPages(pool, meta, vals, nulls)
+}
+
+func writePlainPages(pool *storage.BufferPool, meta *columnMeta, vals []int64, nulls []bool) error {
+	for base := 0; base < len(vals) || (base == 0 && len(vals) == 0); base += plainCap {
+		end := base + plainCap
+		if end > len(vals) {
+			end = len(vals)
+		}
+		id, page, err := pool.NewPage()
+		if err != nil {
+			return err
+		}
+		encodePlainPage(page.Buf(), vals[base:end], nulls[base:end])
+		meta.pages = append(meta.pages, id)
+		meta.rowStart = append(meta.rowStart, base)
+		if err := pool.Unpin(id, true); err != nil {
+			return err
+		}
+		if len(vals) == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+func encodePlainPage(buf []byte, vals []int64, nulls []bool) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = byte(len(vals))
+	buf[1] = byte(len(vals) >> 8)
+	bitmap := buf[2 : 2+plainCap/8]
+	data := buf[2+plainCap/8:]
+	for i, v := range vals {
+		if !nulls[i] {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+		for b := 0; b < 8; b++ {
+			data[i*8+b] = byte(uint64(v) >> (8 * b))
+		}
+	}
+}
+
+func decodePlainPage(buf []byte) (vals []int64, nulls []bool) {
+	n := int(buf[0]) | int(buf[1])<<8
+	bitmap := buf[2 : 2+plainCap/8]
+	data := buf[2+plainCap/8:]
+	vals = make([]int64, n)
+	nulls = make([]bool, n)
+	for i := 0; i < n; i++ {
+		var u uint64
+		for b := 0; b < 8; b++ {
+			u |= uint64(data[i*8+b]) << (8 * b)
+		}
+		vals[i] = int64(u)
+		nulls[i] = bitmap[i/8]&(1<<(i%8)) == 0
+	}
+	return vals, nulls
+}
+
+func writeRLEPages(pool *storage.BufferPool, meta *columnMeta, vals []int64, nulls []bool) error {
+	var runs []run
+	for i := range vals {
+		runs = appendRuns(runs, vals[i], nulls[i])
+	}
+	// Pack runs into pages greedily; split runs that cross a page
+	// boundary.
+	const header = 4
+	flush := func(pageRuns []run, logical, firstRow int) error {
+		id, page, err := pool.NewPage()
+		if err != nil {
+			return err
+		}
+		buf := page.Buf()
+		buf[0] = byte(logical)
+		buf[1] = byte(logical >> 8)
+		buf[2] = byte(len(pageRuns))
+		buf[3] = byte(len(pageRuns) >> 8)
+		out := buf[header:header]
+		for _, r := range pageRuns {
+			out = r.encode(out)
+		}
+		meta.pages = append(meta.pages, id)
+		meta.rowStart = append(meta.rowStart, firstRow)
+		return pool.Unpin(id, true)
+	}
+	var (
+		pageRuns []run
+		used     = header
+		logical  = 0
+		firstRow = 0
+		rowCur   = 0
+	)
+	for _, r := range runs {
+		for r.count > 0 {
+			need := r.encodedLen()
+			if used+need > storage.PageSize && len(pageRuns) > 0 {
+				if err := flush(pageRuns, logical, firstRow); err != nil {
+					return err
+				}
+				pageRuns, used, logical, firstRow = nil, header, 0, rowCur
+				continue
+			}
+			// Whole run fits (a single run encodes in <= 21 bytes, far
+			// under a page, so it always fits in an empty page).
+			pageRuns = append(pageRuns, r)
+			used += need
+			logical += r.count
+			rowCur += r.count
+			r.count = 0
+		}
+	}
+	if len(pageRuns) > 0 || len(meta.pages) == 0 {
+		if err := flush(pageRuns, logical, firstRow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeRLEPage(buf []byte) (vals []int64, nulls []bool, err error) {
+	logical := int(buf[0]) | int(buf[1])<<8
+	nruns := int(buf[2]) | int(buf[3])<<8
+	vals = make([]int64, 0, logical)
+	nulls = make([]bool, 0, logical)
+	rest := buf[4:]
+	for i := 0; i < nruns; i++ {
+		var r run
+		r, rest, err = decodeRun(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		for j := 0; j < r.count; j++ {
+			vals = append(vals, r.value)
+			nulls = append(nulls, r.null)
+		}
+	}
+	if len(vals) != logical {
+		return nil, nil, fmt.Errorf("colstore: page holds %d values, header says %d", len(vals), logical)
+	}
+	return vals, nulls, nil
+}
+
+// Schema returns the file's schema.
+func (f *File) Schema() *dataset.Schema { return f.schema }
+
+// Rows returns the number of logical records.
+func (f *File) Rows() int { return f.rows }
+
+// ColumnPages returns the page count of the named column (for the
+// compression-ratio experiment).
+func (f *File) ColumnPages(name string) (int, error) {
+	m, err := f.meta(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(m.pages), nil
+}
+
+// TotalPages returns the page count across all columns.
+func (f *File) TotalPages() int {
+	n := 0
+	for _, m := range f.cols {
+		n += len(m.pages)
+	}
+	return n
+}
+
+func (f *File) meta(name string) (*columnMeta, error) {
+	for _, m := range f.cols {
+		if m.name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("colstore: no column %q", name)
+}
+
+func (m *columnMeta) toValue(payload int64, null bool) dataset.Value {
+	if null {
+		return dataset.Null
+	}
+	switch m.kind {
+	case dataset.KindInt:
+		return dataset.Int(payload)
+	case dataset.KindFloat:
+		return dataset.Float(math.Float64frombits(uint64(payload)))
+	case dataset.KindString:
+		return dataset.String(m.dict[payload])
+	}
+	return dataset.Null
+}
+
+func (m *columnMeta) fromValue(v dataset.Value) (int64, bool, error) {
+	if v.IsNull() {
+		return 0, true, nil
+	}
+	switch m.kind {
+	case dataset.KindInt:
+		if v.Kind() != dataset.KindInt {
+			return 0, false, fmt.Errorf("colstore: %s value for int column %q", v.Kind(), m.name)
+		}
+		return v.AsInt(), false, nil
+	case dataset.KindFloat:
+		return int64(math.Float64bits(v.AsFloat())), false, nil
+	case dataset.KindString:
+		s := v.AsString()
+		id, ok := m.dictIdx[s]
+		if !ok {
+			id = int64(len(m.dict))
+			m.dict = append(m.dict, s)
+			m.dictIdx[s] = id
+		}
+		return id, false, nil
+	}
+	return 0, false, fmt.Errorf("colstore: bad column kind")
+}
+
+func (f *File) pageValues(m *columnMeta, pageIdx int) ([]int64, []bool, error) {
+	id := m.pages[pageIdx]
+	page, err := f.pool.Fetch(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	var vals []int64
+	var nulls []bool
+	if m.enc == RLE {
+		vals, nulls, err = decodeRLEPage(page.Buf())
+	} else {
+		vals, nulls = decodePlainPage(page.Buf())
+	}
+	if uerr := f.pool.Unpin(id, false); uerr != nil && err == nil {
+		err = uerr
+	}
+	return vals, nulls, err
+}
+
+// ScanColumn streams every value of the named column in row order. This
+// is the statistical-operation access path: it touches only the column's
+// own pages, sequentially.
+func (f *File) ScanColumn(name string, fn func(row int, v dataset.Value) bool) error {
+	m, err := f.meta(name)
+	if err != nil {
+		return err
+	}
+	row := 0
+	for p := range m.pages {
+		vals, nulls, err := f.pageValues(m, p)
+		if err != nil {
+			return err
+		}
+		for i := range vals {
+			if !fn(row, m.toValue(vals[i], nulls[i])) {
+				return nil
+			}
+			row++
+		}
+	}
+	return nil
+}
+
+// NumericColumn reads the named column widened to float64 with a validity
+// mask — the bulk interface the statistical operators consume.
+func (f *File) NumericColumn(name string) ([]float64, []bool, error) {
+	m, err := f.meta(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.kind == dataset.KindString {
+		return nil, nil, fmt.Errorf("colstore: column %q is string, not numeric", name)
+	}
+	out := make([]float64, 0, f.rows)
+	valid := make([]bool, 0, f.rows)
+	for p := range m.pages {
+		vals, nulls, err := f.pageValues(m, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range vals {
+			if nulls[i] {
+				out = append(out, 0)
+				valid = append(valid, false)
+				continue
+			}
+			if m.kind == dataset.KindFloat {
+				out = append(out, math.Float64frombits(uint64(vals[i])))
+			} else {
+				out = append(out, float64(vals[i]))
+			}
+			valid = append(valid, true)
+		}
+	}
+	return out, valid, nil
+}
+
+// RowAt reconstructs logical record i — the "informational query" path.
+// It touches one page in every column's page run, which on a seek-charging
+// device is the poor-performance case Section 2.6 predicts.
+func (f *File) RowAt(i int) (dataset.Row, error) {
+	if i < 0 || i >= f.rows {
+		return nil, fmt.Errorf("colstore: row %d out of range [0,%d)", i, f.rows)
+	}
+	row := make(dataset.Row, len(f.cols))
+	for c, m := range f.cols {
+		p := sort.Search(len(m.rowStart), func(k int) bool { return m.rowStart[k] > i }) - 1
+		vals, nulls, err := f.pageValues(m, p)
+		if err != nil {
+			return nil, err
+		}
+		off := i - m.rowStart[p]
+		if off >= len(vals) {
+			return nil, fmt.Errorf("colstore: column %q page %d short: want offset %d of %d", m.name, p, off, len(vals))
+		}
+		row[c] = m.toValue(vals[off], nulls[off])
+	}
+	return row, nil
+}
+
+// UpdateValue overwrites (row, named column). Plain columns update the
+// one affected page in place. RLE columns rewrite the whole column — the
+// update-hostility of compression the paper warns about; callers choosing
+// RLE accept it.
+func (f *File) UpdateValue(name string, rowIdx int, v dataset.Value) error {
+	m, err := f.meta(name)
+	if err != nil {
+		return err
+	}
+	if rowIdx < 0 || rowIdx >= f.rows {
+		return fmt.Errorf("colstore: row %d out of range [0,%d)", rowIdx, f.rows)
+	}
+	payload, null, err := m.fromValue(v)
+	if err != nil {
+		return err
+	}
+	if m.enc == Plain {
+		p := rowIdx / plainCap
+		id := m.pages[p]
+		page, err := f.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		vals, nulls := decodePlainPage(page.Buf())
+		off := rowIdx - m.rowStart[p]
+		vals[off], nulls[off] = payload, null
+		encodePlainPage(page.Buf(), vals, nulls)
+		return f.pool.Unpin(id, true)
+	}
+	// RLE: read the whole column, apply, rewrite into fresh pages.
+	vals := make([]int64, 0, f.rows)
+	nulls := make([]bool, 0, f.rows)
+	for p := range m.pages {
+		pv, pn, err := f.pageValues(m, p)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, pv...)
+		nulls = append(nulls, pn...)
+	}
+	vals[rowIdx], nulls[rowIdx] = payload, null
+	m.pages, m.rowStart = nil, nil
+	return writeRLEPages(f.pool, m, vals, nulls)
+}
+
+// Materialize reads the whole file back into an in-memory data set.
+func (f *File) Materialize() (*dataset.Dataset, error) {
+	out := dataset.New(f.schema)
+	cols := make([][]dataset.Value, len(f.cols))
+	for c, m := range f.cols {
+		cols[c] = make([]dataset.Value, 0, f.rows)
+		for p := range m.pages {
+			vals, nulls, err := f.pageValues(m, p)
+			if err != nil {
+				return nil, err
+			}
+			for i := range vals {
+				cols[c] = append(cols[c], m.toValue(vals[i], nulls[i]))
+			}
+		}
+		if len(cols[c]) != f.rows {
+			return nil, fmt.Errorf("colstore: column %q has %d values, want %d", m.name, len(cols[c]), f.rows)
+		}
+	}
+	for i := 0; i < f.rows; i++ {
+		row := make(dataset.Row, len(f.cols))
+		for c := range f.cols {
+			row[c] = cols[c][i]
+		}
+		if err := out.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

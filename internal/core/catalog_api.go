@@ -1,0 +1,20 @@
+package core
+
+import (
+	"fmt"
+
+	"statdb/internal/view"
+)
+
+// AnyView returns a view by name regardless of ownership or publication —
+// the administrative path used by the persistence catalog, not by analyst
+// sessions (those go through Analyst.View, which enforces privacy).
+func (d *DBMS) AnyView(name string) (*view.View, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, ok := d.views[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no view %q", name)
+	}
+	return v, nil
+}

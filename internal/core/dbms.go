@@ -1,0 +1,195 @@
+// Package core assembles the statistical DBMS of Figure 3: a raw
+// database on a sequential archive, several concrete views — each
+// private to an analyst and paired with its own Summary Database — and a
+// single Management Database holding the rules, view definitions and
+// update histories that drive the whole system.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"statdb/internal/dataset"
+	"statdb/internal/meta"
+	"statdb/internal/rules"
+	"statdb/internal/tape"
+	"statdb/internal/view"
+)
+
+// DBMS is the top-level system handle.
+type DBMS struct {
+	mu       sync.Mutex
+	archive  *tape.Archive
+	mdb      *rules.ManagementDB
+	metaG    *meta.Graph
+	views    map[string]*view.View
+	analysts map[string]*Analyst
+}
+
+// New creates a DBMS over an empty tape archive with default cost models.
+func New() *DBMS {
+	return NewWithArchive(tape.NewArchive(tape.DefaultCost()))
+}
+
+// NewWithArchive creates a DBMS over an existing raw archive.
+func NewWithArchive(a *tape.Archive) *DBMS {
+	return &DBMS{
+		archive:  a,
+		mdb:      rules.NewManagementDB(),
+		metaG:    meta.NewGraph(),
+		views:    make(map[string]*view.View),
+		analysts: make(map[string]*Analyst),
+	}
+}
+
+// Archive exposes the raw database.
+func (d *DBMS) Archive() *tape.Archive { return d.archive }
+
+// Management exposes the Management Database.
+func (d *DBMS) Management() *rules.ManagementDB { return d.mdb }
+
+// Meta exposes the metadata graph.
+func (d *DBMS) Meta() *meta.Graph { return d.metaG }
+
+// LoadRaw archives a data set as part of the raw database.
+func (d *DBMS) LoadRaw(name string, ds *dataset.Dataset) error {
+	return d.archive.Write(name, ds)
+}
+
+// Analyst returns the named analyst handle, creating it on first use.
+func (d *DBMS) Analyst(name string) *Analyst {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if a, ok := d.analysts[name]; ok {
+		return a
+	}
+	a := &Analyst{name: name, dbms: d}
+	d.analysts[name] = a
+	return a
+}
+
+// ViewNames lists all registered views.
+func (d *DBMS) ViewNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.views))
+	for n := range d.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (d *DBMS) registerView(v *view.View) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.views[v.Name()] = v
+}
+
+// Analyst is one user of the system; views are private per analyst
+// unless published.
+type Analyst struct {
+	name string
+	dbms *DBMS
+}
+
+// Name returns the analyst's name.
+func (a *Analyst) Name() string { return a.name }
+
+// Materialize starts a view materialization from the named raw file.
+func (a *Analyst) Materialize(source string) *MaterializeBuilder {
+	return &MaterializeBuilder{
+		analyst: a,
+		builder: view.NewBuilder(a.dbms.archive, a.dbms.mdb, source),
+	}
+}
+
+// MaterializeBuilder wraps the view builder with the analyst identity.
+type MaterializeBuilder struct {
+	analyst *Analyst
+	builder *view.Builder
+}
+
+// Builder exposes the underlying pipeline builder for chaining relational
+// steps.
+func (m *MaterializeBuilder) Builder() *view.Builder { return m.builder }
+
+// Build materializes and registers the view.
+func (m *MaterializeBuilder) Build(name string) (*view.View, error) {
+	return m.BuildWithOptions(name, view.Options{})
+}
+
+// BuildWithOptions materializes with explicit view options.
+func (m *MaterializeBuilder) BuildWithOptions(name string, opts view.Options) (*view.View, error) {
+	v, err := m.builder.WithOptions(opts).Build(name, m.analyst.name)
+	if err != nil {
+		return nil, err
+	}
+	m.analyst.dbms.registerView(v)
+	return v, nil
+}
+
+// AdoptDataset registers an in-memory data set (a sample, an aggregation
+// result) as a new concrete view owned by the analyst. ops documents the
+// derivation for the Management Database's duplicate detection.
+func (a *Analyst) AdoptDataset(name string, ds *dataset.Dataset, source string, ops []string) (*view.View, error) {
+	v, err := view.New(ds, a.dbms.mdb, rules.ViewDef{
+		Name: name, Analyst: a.name, Source: source, Ops: ops,
+	}, view.Options{})
+	if err != nil {
+		return nil, err
+	}
+	a.dbms.registerView(v)
+	return v, nil
+}
+
+// View fetches a view by name, enforcing the privacy rule of Section 3.2:
+// a view is accessible to its owner, and to others only once published.
+func (a *Analyst) View(name string) (*view.View, error) {
+	a.dbms.mu.Lock()
+	v, ok := a.dbms.views[name]
+	a.dbms.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no view %q", name)
+	}
+	def, _ := a.dbms.mdb.View(name)
+	if def.Analyst != a.name && !def.Public {
+		return nil, fmt.Errorf("core: view %q is private to analyst %s", name, def.Analyst)
+	}
+	return v, nil
+}
+
+// Publish makes the analyst's view visible to everyone — how the results
+// of data editing are "made public" (Section 2.3).
+func (a *Analyst) Publish(name string) error {
+	def, ok := a.dbms.mdb.View(name)
+	if !ok {
+		return fmt.Errorf("core: no view %q", name)
+	}
+	if def.Analyst != a.name {
+		return fmt.Errorf("core: view %q belongs to analyst %s", name, def.Analyst)
+	}
+	return a.dbms.mdb.Publish(name)
+}
+
+// PublicViews lists definitions other analysts have published.
+func (a *Analyst) PublicViews() []rules.ViewDef {
+	return a.dbms.mdb.PublicViews()
+}
+
+// MaterializeFromMeta turns a metadata navigation request into a view:
+// the SUBJECT flow of Section 2.3 ("at the end of the session [the
+// system] can generate requests to the DBMS for the view described by
+// his path").
+func (a *Analyst) MaterializeFromMeta(req meta.ViewRequest, name string) (*view.View, error) {
+	if len(req.Attributes) != 1 {
+		return nil, fmt.Errorf("core: meta request spans %d files; single-file requests only", len(req.Attributes))
+	}
+	for file, attrs := range req.Attributes {
+		mb := a.Materialize(file)
+		mb.builder.Project(attrs...)
+		return mb.Build(name)
+	}
+	return nil, fmt.Errorf("core: empty meta request")
+}

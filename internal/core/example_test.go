@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"statdb/internal/core"
+	"statdb/internal/dataset"
+	"statdb/internal/relalg"
+	"statdb/internal/workload"
+)
+
+// Example walks the paper's architecture end to end: archive a raw data
+// set, materialize a private concrete view, compute cached statistics,
+// update, and undo.
+func Example() {
+	dbms := core.New()
+	if err := dbms.LoadRaw("figure1", workload.Figure1()); err != nil {
+		log.Fatal(err)
+	}
+
+	analyst := dbms.Analyst("boral")
+	mb := analyst.Materialize("figure1")
+	mb.Builder().Select(relalg.Cmp{Attr: "RACE", Op: relalg.Eq, Val: dataset.String("W")})
+	v, err := mb.Build("whites")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	med, err := v.Compute("median", "AVE_SALARY")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rows=%d median=%.1f\n", v.Rows(), med)
+
+	n, err := v.UpdateWhere("AVE_SALARY",
+		relalg.Cmp{Attr: "AVE_SALARY", Op: relalg.Lt, Val: dataset.Int(16000)},
+		dataset.Null)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("invalidated=%d history=%d\n", n, v.History().Len())
+
+	if err := v.Undo(); err != nil {
+		log.Fatal(err)
+	}
+	med2, _ := v.Compute("median", "AVE_SALARY")
+	fmt.Printf("after undo median=%.1f\n", med2)
+	// Output:
+	// rows=8 median=29075.5
+	// invalidated=1 history=1
+	// after undo median=29075.5
+}

@@ -1,0 +1,363 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one record of a data set, with one Value per attribute in schema
+// order.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// column is the in-memory columnar storage for one attribute: a typed
+// vector plus a validity mask. Exactly one of the vectors is non-nil,
+// chosen by the attribute kind.
+type column struct {
+	kind  Kind
+	ints  []int64
+	flts  []float64
+	strs  []string
+	valid []bool
+}
+
+func newColumn(k Kind) *column { return &column{kind: k} }
+
+func (c *column) len() int { return len(c.valid) }
+
+func (c *column) append(v Value) error {
+	if v.IsNull() {
+		c.valid = append(c.valid, false)
+		switch c.kind {
+		case KindInt:
+			c.ints = append(c.ints, 0)
+		case KindFloat:
+			c.flts = append(c.flts, 0)
+		case KindString:
+			c.strs = append(c.strs, "")
+		}
+		return nil
+	}
+	if v.kind != c.kind {
+		// Widen int literals into float columns; everything else is a
+		// type error.
+		if c.kind == KindFloat && v.kind == KindInt {
+			v = Float(float64(v.i))
+		} else {
+			return fmt.Errorf("dataset: cannot store %s value in %s column", v.kind, c.kind)
+		}
+	}
+	c.valid = append(c.valid, true)
+	switch c.kind {
+	case KindInt:
+		c.ints = append(c.ints, v.i)
+	case KindFloat:
+		c.flts = append(c.flts, v.f)
+	case KindString:
+		c.strs = append(c.strs, v.s)
+	}
+	return nil
+}
+
+func (c *column) get(i int) Value {
+	if !c.valid[i] {
+		return Null
+	}
+	switch c.kind {
+	case KindInt:
+		return Int(c.ints[i])
+	case KindFloat:
+		return Float(c.flts[i])
+	case KindString:
+		return String(c.strs[i])
+	}
+	return Null
+}
+
+func (c *column) set(i int, v Value) error {
+	if v.IsNull() {
+		c.valid[i] = false
+		return nil
+	}
+	if v.kind != c.kind {
+		if c.kind == KindFloat && v.kind == KindInt {
+			v = Float(float64(v.i))
+		} else {
+			return fmt.Errorf("dataset: cannot store %s value in %s column", v.kind, c.kind)
+		}
+	}
+	c.valid[i] = true
+	switch c.kind {
+	case KindInt:
+		c.ints[i] = v.i
+	case KindFloat:
+		c.flts[i] = v.f
+	case KindString:
+		c.strs[i] = v.s
+	}
+	return nil
+}
+
+func (c *column) clone() *column {
+	out := &column{kind: c.kind}
+	out.valid = append([]bool(nil), c.valid...)
+	out.ints = append([]int64(nil), c.ints...)
+	out.flts = append([]float64(nil), c.flts...)
+	out.strs = append([]string(nil), c.strs...)
+	return out
+}
+
+// Dataset is an in-memory flat-file data set: the unit of analysis in the
+// paper's model. Storage is columnar (one typed vector per attribute),
+// matching the access pattern Section 2.2 identifies — "access to a few
+// columns of every row" — while still presenting the flat-file row view
+// the statistical packages expect.
+type Dataset struct {
+	schema *Schema
+	cols   []*column
+	name   string
+}
+
+// New creates an empty data set with the given schema.
+func New(schema *Schema) *Dataset {
+	cols := make([]*column, schema.Len())
+	for i := range cols {
+		cols[i] = newColumn(schema.At(i).Kind)
+	}
+	return &Dataset{schema: schema, cols: cols}
+}
+
+// Name returns the data set's name (may be empty).
+func (d *Dataset) Name() string { return d.name }
+
+// SetName names the data set; names identify views and raw files.
+func (d *Dataset) SetName(n string) { d.name = n }
+
+// Schema returns the data set's schema.
+func (d *Dataset) Schema() *Schema { return d.schema }
+
+// Rows returns the number of records.
+func (d *Dataset) Rows() int {
+	if len(d.cols) == 0 {
+		return 0
+	}
+	return d.cols[0].len()
+}
+
+// Append adds one record. The row must have one value per attribute.
+func (d *Dataset) Append(r Row) error {
+	if len(r) != d.schema.Len() {
+		return fmt.Errorf("dataset: row has %d values, schema has %d attributes", len(r), d.schema.Len())
+	}
+	for i, v := range r {
+		if err := d.cols[i].append(v); err != nil {
+			// Roll back the partial row so columns stay aligned.
+			for j := 0; j < i; j++ {
+				d.truncLast(j)
+			}
+			return fmt.Errorf("attribute %q: %w", d.schema.At(i).Name, err)
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) truncLast(col int) {
+	c := d.cols[col]
+	n := c.len() - 1
+	c.valid = c.valid[:n]
+	switch c.kind {
+	case KindInt:
+		c.ints = c.ints[:n]
+	case KindFloat:
+		c.flts = c.flts[:n]
+	case KindString:
+		c.strs = c.strs[:n]
+	}
+}
+
+// Cell returns the value at (row, col).
+func (d *Dataset) Cell(row, col int) Value { return d.cols[col].get(row) }
+
+// CellByName returns the value at (row, named column).
+func (d *Dataset) CellByName(row int, name string) (Value, error) {
+	i := d.schema.Index(name)
+	if i < 0 {
+		return Null, fmt.Errorf("dataset: no attribute %q", name)
+	}
+	return d.cols[i].get(row), nil
+}
+
+// SetCell stores v at (row, col). Storing Null marks the cell missing —
+// the "mark a particular record as invalid" operation of Section 2.2.
+func (d *Dataset) SetCell(row, col int, v Value) error {
+	if row < 0 || row >= d.Rows() {
+		return fmt.Errorf("dataset: row %d out of range [0,%d)", row, d.Rows())
+	}
+	if col < 0 || col >= d.schema.Len() {
+		return fmt.Errorf("dataset: column %d out of range [0,%d)", col, d.schema.Len())
+	}
+	if err := d.cols[col].set(row, v); err != nil {
+		return fmt.Errorf("attribute %q: %w", d.schema.At(col).Name, err)
+	}
+	return nil
+}
+
+// RowAt returns a copy of record i.
+func (d *Dataset) RowAt(i int) Row {
+	r := make(Row, d.schema.Len())
+	for c := range d.cols {
+		r[c] = d.cols[c].get(i)
+	}
+	return r
+}
+
+// Clone returns a deep copy of the data set — the basis of concrete view
+// snapshots and undo before-images.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{schema: d.schema, name: d.name, cols: make([]*column, len(d.cols))}
+	for i, c := range d.cols {
+		out.cols[i] = c.clone()
+	}
+	return out
+}
+
+// Ints returns the raw integer vector and validity mask of column col.
+// The column must be KindInt. The slices alias the data set; callers must
+// not modify them. This is the bulk path the statistical operators use.
+func (d *Dataset) Ints(col int) ([]int64, []bool) {
+	c := d.cols[col]
+	if c.kind != KindInt {
+		panic(fmt.Sprintf("dataset: Ints on %s column %q", c.kind, d.schema.At(col).Name))
+	}
+	return c.ints, c.valid
+}
+
+// Floats returns the raw float vector and validity mask of column col.
+// The column must be KindFloat.
+func (d *Dataset) Floats(col int) ([]float64, []bool) {
+	c := d.cols[col]
+	if c.kind != KindFloat {
+		panic(fmt.Sprintf("dataset: Floats on %s column %q", c.kind, d.schema.At(col).Name))
+	}
+	return c.flts, c.valid
+}
+
+// Strings returns the raw string vector and validity mask of column col.
+// The column must be KindString.
+func (d *Dataset) Strings(col int) ([]string, []bool) {
+	c := d.cols[col]
+	if c.kind != KindString {
+		panic(fmt.Sprintf("dataset: Strings on %s column %q", c.kind, d.schema.At(col).Name))
+	}
+	return c.strs, c.valid
+}
+
+// NumericColumn returns column col widened to float64 with its validity
+// mask, accepting both int and float columns. The returned slices are
+// fresh copies for int columns and aliases for float columns; callers
+// must treat them as read-only.
+func (d *Dataset) NumericColumn(col int) ([]float64, []bool, error) {
+	c := d.cols[col]
+	switch c.kind {
+	case KindFloat:
+		return c.flts, c.valid, nil
+	case KindInt:
+		out := make([]float64, len(c.ints))
+		for i, v := range c.ints {
+			out[i] = float64(v)
+		}
+		return out, c.valid, nil
+	default:
+		return nil, nil, fmt.Errorf("dataset: attribute %q is %s, not numeric", d.schema.At(col).Name, c.kind)
+	}
+}
+
+// NumericByName is NumericColumn addressed by attribute name.
+func (d *Dataset) NumericByName(name string) ([]float64, []bool, error) {
+	i := d.schema.Index(name)
+	if i < 0 {
+		return nil, nil, fmt.Errorf("dataset: no attribute %q", name)
+	}
+	return d.NumericColumn(i)
+}
+
+// AddColumn appends a new attribute filled from values (one per existing
+// row). This is the "add a new attribute to the data set to capture the
+// results of a time-consuming calculation" update of Section 2.2.
+func (d *Dataset) AddColumn(attr Attribute, values []Value) error {
+	if len(values) != d.Rows() {
+		return fmt.Errorf("dataset: AddColumn %q: %d values for %d rows", attr.Name, len(values), d.Rows())
+	}
+	sch, err := d.schema.Extend(attr)
+	if err != nil {
+		return err
+	}
+	col := newColumn(attr.Kind)
+	for _, v := range values {
+		if err := col.append(v); err != nil {
+			return fmt.Errorf("attribute %q: %w", attr.Name, err)
+		}
+	}
+	d.schema = sch
+	d.cols = append(d.cols, col)
+	return nil
+}
+
+// MarkMissing nulls the cell at (row, named column) — invalidating a
+// suspicious value found during data checking (Section 2.2).
+func (d *Dataset) MarkMissing(row int, name string) error {
+	i := d.schema.Index(name)
+	if i < 0 {
+		return fmt.Errorf("dataset: no attribute %q", name)
+	}
+	return d.SetCell(row, i, Null)
+}
+
+// MissingCount returns the number of missing cells in the named column.
+func (d *Dataset) MissingCount(name string) (int, error) {
+	i := d.schema.Index(name)
+	if i < 0 {
+		return 0, fmt.Errorf("dataset: no attribute %q", name)
+	}
+	n := 0
+	for _, ok := range d.cols[i].valid {
+		if !ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// String renders the data set as an aligned text table, capped at 20 rows
+// for diagnostics.
+func (d *Dataset) String() string {
+	var b strings.Builder
+	names := d.schema.Names()
+	b.WriteString(strings.Join(names, "\t"))
+	b.WriteByte('\n')
+	n := d.Rows()
+	const cap = 20
+	shown := n
+	if shown > cap {
+		shown = cap
+	}
+	for i := 0; i < shown; i++ {
+		for c := 0; c < d.schema.Len(); c++ {
+			if c > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(d.Cell(i, c).String())
+		}
+		b.WriteByte('\n')
+	}
+	if n > cap {
+		fmt.Fprintf(&b, "... (%d more rows)\n", n-cap)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fwSchema() *Schema {
+	return MustSchema(
+		Attribute{Name: "SEX", Kind: KindString, Category: true},
+		Attribute{Name: "AGE_GROUP", Kind: KindInt, Category: true},
+		Attribute{Name: "SALARY", Kind: KindFloat},
+	)
+}
+
+func fwLayout() FixedWidthLayout {
+	return FixedWidthLayout{
+		{Attr: "SEX", Start: 1, Width: 1},
+		{Attr: "AGE_GROUP", Start: 2, Width: 2},
+		{Attr: "SALARY", Start: 4, Width: 8},
+	}
+}
+
+func TestFixedWidthRoundTrip(t *testing.T) {
+	d := New(fwSchema())
+	rows := []Row{
+		{String("M"), Int(1), Float(33122)},
+		{String("F"), Int(12), Null},
+		{Null, Int(4), Float(15110.5)},
+	}
+	for _, r := range rows {
+		if err := d.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := d.WriteFixedWidth(&buf, fwLayout()); err != nil {
+		t.Fatal(err)
+	}
+	// Card images: fixed length, right-aligned numbers.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 11 {
+			t.Errorf("line %d is %d chars: %q", i, len(l), l)
+		}
+	}
+	if lines[0] != "M 1   33122" {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	got, err := ReadFixedWidth(&buf, fwSchema(), fwLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 3 {
+		t.Fatalf("rows = %d", got.Rows())
+	}
+	for i := range rows {
+		for c := range rows[i] {
+			if !got.Cell(i, c).Equal(rows[i][c]) {
+				t.Errorf("cell (%d,%d): %v != %v", i, c, got.Cell(i, c), rows[i][c])
+			}
+		}
+	}
+}
+
+func TestFixedWidthLayoutValidation(t *testing.T) {
+	sch := fwSchema()
+	cases := []FixedWidthLayout{
+		nil,                                  // empty
+		{{Attr: "NOPE", Start: 1, Width: 1}}, // unknown attr
+		{{Attr: "SEX", Start: 1, Width: 1}, {Attr: "SEX", Start: 2, Width: 1}},       // duplicate
+		{{Attr: "SEX", Start: 0, Width: 1}},                                          // bad start
+		{{Attr: "SEX", Start: 1, Width: 0}},                                          // bad width
+		{{Attr: "SEX", Start: 1, Width: 1}, {Attr: "AGE_GROUP", Start: 2, Width: 2}}, // missing SALARY
+	}
+	for i, l := range cases {
+		if _, err := ReadFixedWidth(strings.NewReader(""), sch, l); err == nil {
+			t.Errorf("layout %d accepted", i)
+		}
+	}
+}
+
+func TestFixedWidthReadErrors(t *testing.T) {
+	sch := fwSchema()
+	l := fwLayout()
+	if _, err := ReadFixedWidth(strings.NewReader("M 1"), sch, l); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := ReadFixedWidth(strings.NewReader("M x    33122"), sch, l); err == nil {
+		t.Error("non-numeric code accepted")
+	}
+}
+
+func TestFixedWidthWriteOverflow(t *testing.T) {
+	d := New(fwSchema())
+	if err := d.Append(Row{String("MALE"), Int(1), Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteFixedWidth(&buf, fwLayout()); err == nil {
+		t.Error("overflowing value accepted (silent truncation)")
+	}
+}

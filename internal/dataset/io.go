@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV interchange. Statistical packages of the era (and today) consume
+// flat files; these routines move data sets in and out of that world.
+// Missing values render as the empty string, matching the common
+// convention; "NA" is also accepted on input.
+
+// WriteCSV writes ds with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.schema.Names()); err != nil {
+		return fmt.Errorf("dataset: csv header: %w", err)
+	}
+	record := make([]string, d.schema.Len())
+	for i := 0; i < d.Rows(); i++ {
+		for c := 0; c < d.schema.Len(); c++ {
+			v := d.Cell(i, c)
+			if v.IsNull() {
+				record[c] = ""
+			} else {
+				record[c] = v.String()
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("dataset: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream with a header row against the given
+// schema: the header must name every schema attribute (in any order);
+// extra columns are ignored.
+func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv header: %w", err)
+	}
+	colOf := make([]int, schema.Len()) // schema col -> csv col
+	for i := range colOf {
+		colOf[i] = -1
+	}
+	for ci, name := range header {
+		if si := schema.Index(strings.TrimSpace(name)); si >= 0 {
+			colOf[si] = ci
+		}
+	}
+	for si, ci := range colOf {
+		if ci < 0 {
+			return nil, fmt.Errorf("dataset: csv missing attribute %q", schema.At(si).Name)
+		}
+	}
+	ds := New(schema)
+	lineNo := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return ds, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", lineNo+1, err)
+		}
+		lineNo++
+		row := make(Row, schema.Len())
+		for si := 0; si < schema.Len(); si++ {
+			cell := strings.TrimSpace(rec[colOf[si]])
+			v, err := parseCell(cell, schema.At(si).Kind)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d, attribute %q: %w", lineNo, schema.At(si).Name, err)
+			}
+			row[si] = v
+		}
+		if err := ds.Append(row); err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", lineNo, err)
+		}
+	}
+}
+
+func parseCell(s string, kind Kind) (Value, error) {
+	if s == "" || s == "NA" {
+		return Null, nil
+	}
+	switch kind {
+	case KindInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("bad integer %q", s)
+		}
+		return Int(n), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, fmt.Errorf("bad float %q", s)
+		}
+		return Float(f), nil
+	case KindString:
+		return String(s), nil
+	}
+	return Null, fmt.Errorf("bad column kind %v", kind)
+}
+
+// InferSchemaFromCSV sniffs a schema from a CSV stream: a column is Int
+// if every non-empty cell parses as an integer, Float if every non-empty
+// cell parses as a number, else String. All attributes are marked
+// summarizable when numeric. The reader is consumed; callers re-open the
+// source to then ReadCSV with the returned schema.
+func InferSchemaFromCSV(r io.Reader) (*Schema, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv header: %w", err)
+	}
+	n := len(header)
+	couldInt := make([]bool, n)
+	couldFloat := make([]bool, n)
+	for i := range header {
+		couldInt[i], couldFloat[i] = true, true
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			if cell == "" || cell == "NA" {
+				continue
+			}
+			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+				couldInt[i] = false
+			}
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				couldFloat[i] = false
+			}
+		}
+	}
+	attrs := make([]Attribute, n)
+	for i, name := range header {
+		a := Attribute{Name: strings.TrimSpace(name)}
+		switch {
+		case couldInt[i]:
+			a.Kind, a.Summarizable = KindInt, true
+		case couldFloat[i]:
+			a.Kind, a.Summarizable = KindFloat, true
+		default:
+			a.Kind = KindString
+		}
+		attrs[i] = a
+	}
+	return NewSchema(attrs...)
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute describes one column of a data set.
+type Attribute struct {
+	// Name is the attribute name, unique within a schema (e.g. "AVE_SALARY").
+	Name string
+	// Kind is the physical type of the column.
+	Kind Kind
+	// Category marks a category attribute: one component of the composite
+	// key that uniquely identifies each record (Section 2.1).
+	Category bool
+	// Code, when non-nil, is the code table interpreting encoded values of
+	// this attribute (Figure 2). Only meaningful for KindInt columns.
+	Code *CodeTable
+	// Derived records how the column was computed when it is a derived
+	// attribute (e.g. residuals added back to the view, Section 3.2).
+	// Empty for raw attributes.
+	Derived string
+	// Summarizable reports whether computing summary statistics over this
+	// attribute makes sense. The paper notes (Section 3.2) that the median
+	// of AGE_GROUP is meaningless; the system relies on this bit of
+	// meta-data to decide which attributes get summary information.
+	Summarizable bool
+}
+
+// Schema is the ordered attribute list of a data set.
+type Schema struct {
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// NewSchema builds a schema from attrs. Attribute names must be unique
+// and non-empty.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{attrs: make([]Attribute, len(attrs)), byName: make(map[string]int, len(attrs))}
+	copy(s.attrs, attrs)
+	for i, a := range s.attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if a.Kind == KindInvalid {
+			return nil, fmt.Errorf("dataset: attribute %q has invalid kind", a.Name)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute %q", a.Name)
+		}
+		s.byName[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for literals in tests and
+// generators where the schema is statically correct.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// At returns the i-th attribute.
+func (s *Schema) At(i int) Attribute { return s.attrs[i] }
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Lookup returns the named attribute.
+func (s *Schema) Lookup(name string) (Attribute, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return Attribute{}, false
+	}
+	return s.attrs[i], true
+}
+
+// Names returns the attribute names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// CategoryAttributes returns the names of the category attributes in
+// schema order — the composite key of the data set.
+func (s *Schema) CategoryAttributes() []string {
+	var out []string
+	for _, a := range s.attrs {
+		if a.Category {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// Project returns a new schema containing only the named attributes, in
+// the given order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(names))
+	for _, n := range names {
+		a, ok := s.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("dataset: project: no attribute %q", n)
+		}
+		attrs = append(attrs, a)
+	}
+	return NewSchema(attrs...)
+}
+
+// Extend returns a new schema with attr appended.
+func (s *Schema) Extend(attr Attribute) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(s.attrs)+1)
+	attrs = append(attrs, s.attrs...)
+	attrs = append(attrs, attr)
+	return NewSchema(attrs...)
+}
+
+// Equal reports whether two schemas have identical attribute names, kinds
+// and category flags in the same order. Code tables and derivations are
+// not compared.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		a, b := s.attrs[i], o.attrs[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.Category != b.Category {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "NAME kind [key]" lines for diagnostics.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Name, a.Kind)
+		if a.Category {
+			b.WriteString(" [key]")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+// Package dataset implements the flat-file data set model of Boral,
+// DeWitt and Bates (1982), Section 2.1: a data set is a table of
+// attributes (columns) and records (rows), much like a relation.
+// Attributes that together uniquely identify each record are category
+// attributes (a composite key); the remaining attributes quantify the
+// composite value of the category attributes they are associated with.
+//
+// The package supports the statistical-database peculiarities the paper
+// calls out: encoded attribute values interpreted through code tables
+// (Figure 2), missing ("invalid") values produced by data checking, and
+// derived attributes computed from other columns.
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the physical type of a column.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it never describes a real column.
+	KindInvalid Kind = iota
+	// KindInt holds 64-bit signed integers (also used for encoded values).
+	KindInt
+	// KindFloat holds 64-bit floating point numbers.
+	KindFloat
+	// KindString holds variable-length text.
+	KindString
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a single cell value. A Value is either null (missing) or holds
+// exactly one of the three physical types. The zero Value is null.
+//
+// Values are small and passed by value everywhere; bulk access paths use
+// the typed column vectors instead.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the missing value. The paper calls these "invalid" values or,
+// in the statistics vernacular, "missing values" (Section 3.1).
+var Null = Value{}
+
+// Int returns a Value holding v.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a Value holding v.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a Value holding v.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind reports the physical type of v, or KindInvalid if v is null.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the missing value.
+func (v Value) IsNull() bool { return v.kind == KindInvalid }
+
+// AsInt returns the integer held by v. It panics if v does not hold an
+// integer; callers must check Kind first when the type is not statically
+// known.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("dataset: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the float held by v. Integer values are widened, which
+// mirrors how statistical packages treat integer columns in arithmetic.
+// It panics on strings and nulls.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("dataset: AsFloat on %s value", v.kind))
+	}
+}
+
+// AsString returns the string held by v. It panics if v does not hold a
+// string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("dataset: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Equal reports whether two values have the same kind and contents.
+// Nulls compare equal to each other, which suits cache keys and tests;
+// predicate evaluation handles null semantics separately.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	default:
+		return true // both null
+	}
+}
+
+// Compare orders two non-null values of the same kind: -1 if v < o,
+// 0 if equal, +1 if v > o. Nulls sort before everything, mirroring the
+// treatment of missing values in the statistical operators (they are
+// excluded before ordering matters).
+func (v Value) Compare(o Value) int {
+	if v.kind == KindInvalid || o.kind == KindInvalid {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindInvalid:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.kind != o.kind {
+		// Numeric cross-kind comparison widens to float.
+		if (v.kind == KindInt || v.kind == KindFloat) && (o.kind == KindInt || o.kind == KindFloat) {
+			a, b := v.AsFloat(), o.AsFloat()
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		}
+		panic(fmt.Sprintf("dataset: Compare %s with %s", v.kind, o.kind))
+	}
+	switch v.kind {
+	case KindInt:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+	case KindFloat:
+		switch {
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		}
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+	}
+	return 0
+}
+
+// String renders the value for display; nulls render as "NA", matching
+// the convention of the statistical packages the paper surveys.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return "NA"
+	}
+}

@@ -1,0 +1,239 @@
+// Package dbmachine simulates the database machine support of
+// Section 4.3. The authors' stated motivation was to back a statistical
+// DBMS with a database machine; the section sketches four uses:
+//
+//  1. materializing views by executing relational operators (selection,
+//     projection, aggregate) on the data stream as it leaves the raw
+//     database, so the host never touches filtered-out rows;
+//  2. managing the Summary Databases with a "pseudo-associative disk"
+//     [SLOT70] whose search is parallel across cells;
+//  3. recomputing invalidated summary functions near the stored view;
+//  4. computing vector results (e.g. residuals) to be stored back.
+//
+// The machine here is a processor-array cost model: work that the host
+// would do serially is divided across P processors, with per-row
+// processing charged on the machine's own virtual clock and only
+// qualifying rows shipped to the host. Aggregates additionally run on
+// real goroutines (one per simulated processor), so the parallel merge
+// logic is genuinely exercised.
+package dbmachine
+
+import (
+	"fmt"
+	"sync"
+
+	"statdb/internal/dataset"
+	"statdb/internal/relalg"
+	"statdb/internal/tape"
+)
+
+// Config sizes the machine.
+type Config struct {
+	// Processors is the processor-array width (the paper's machine would
+	// put one per disk head or track).
+	Processors int
+	// RowProcessCost is the virtual ticks one processor spends
+	// evaluating one row (predicate or aggregate step).
+	RowProcessCost int64
+	// RowShipCost is the virtual ticks to ship one qualifying row to the
+	// host.
+	RowShipCost int64
+}
+
+// Default returns a modest 8-processor machine.
+func Default() Config {
+	return Config{Processors: 8, RowProcessCost: 2, RowShipCost: 1}
+}
+
+func (c Config) validate() error {
+	if c.Processors < 1 {
+		return fmt.Errorf("dbmachine: need >= 1 processor, have %d", c.Processors)
+	}
+	return nil
+}
+
+// Stats reports one operation's cost split.
+type Stats struct {
+	RowsScanned int64
+	RowsShipped int64
+	// MachineTicks is the parallel processing time: per-row work divided
+	// across processors.
+	MachineTicks int64
+	// HostTicks is what the host itself spent (receiving shipped rows).
+	HostTicks int64
+}
+
+// Total returns machine + host ticks (transfer costs accrue separately on
+// the storage device's own clock).
+func (s Stats) Total() int64 { return s.MachineTicks + s.HostTicks }
+
+// Machine is a configured processor array.
+type Machine struct {
+	cfg Config
+}
+
+// New creates a machine.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Processors returns the array width.
+func (m *Machine) Processors() int { return m.cfg.Processors }
+
+// FilterScan streams the named archive file through the machine,
+// evaluating pred in the array and shipping only qualifying rows to the
+// host (use 1 of Section 4.3). Tape transfer costs accrue on the
+// archive's clock; processing is divided across the processors.
+func (m *Machine) FilterScan(a *tape.Archive, file string, pred relalg.Predicate) (*dataset.Dataset, Stats, error) {
+	sch, err := a.Schema(file)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	eval, err := pred.Compile(sch)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := dataset.New(sch)
+	var st Stats
+	var appendErr error
+	err = a.Read(file, func(row dataset.Row) bool {
+		st.RowsScanned++
+		if eval(row) {
+			st.RowsShipped++
+			if appendErr = out.Append(row); appendErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err == nil {
+		err = appendErr
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st.MachineTicks = ceilDiv(st.RowsScanned*m.cfg.RowProcessCost, int64(m.cfg.Processors))
+	st.HostTicks = st.RowsShipped * m.cfg.RowShipCost
+	return out, st, nil
+}
+
+// HostFilterCost returns what the same scan costs without a machine: the
+// host receives every row and evaluates the predicate itself, serially.
+func (m *Machine) HostFilterCost(rowsScanned int64) Stats {
+	return Stats{
+		RowsScanned:  rowsScanned,
+		RowsShipped:  rowsScanned,
+		MachineTicks: 0,
+		HostTicks:    rowsScanned*m.cfg.RowShipCost + rowsScanned*m.cfg.RowProcessCost,
+	}
+}
+
+// AggregateKind selects a parallel aggregate.
+type AggregateKind uint8
+
+const (
+	AggSum AggregateKind = iota
+	AggMin
+	AggMax
+	AggCount
+)
+
+// Aggregate computes the aggregate over the valid values of xs on real
+// goroutines — one per simulated processor — and returns the value with
+// the parallel cost (use 3 of Section 4.3: recomputing summary functions
+// near the data).
+func (m *Machine) Aggregate(kind AggregateKind, xs []float64, valid []bool) (float64, Stats, error) {
+	p := m.cfg.Processors
+	n := len(xs)
+	type part struct {
+		sum      float64
+		min, max float64
+		count    int64
+		any      bool
+	}
+	parts := make([]part, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo, hi := n*w/p, n*(w+1)/p
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			pt := part{}
+			for i := lo; i < hi; i++ {
+				if valid != nil && !valid[i] {
+					continue
+				}
+				x := xs[i]
+				if !pt.any {
+					pt.min, pt.max, pt.any = x, x, true
+				} else {
+					if x < pt.min {
+						pt.min = x
+					}
+					if x > pt.max {
+						pt.max = x
+					}
+				}
+				pt.sum += x
+				pt.count++
+			}
+			parts[w] = pt
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	merged := part{}
+	for _, pt := range parts {
+		if !pt.any {
+			continue
+		}
+		if !merged.any {
+			merged = pt
+			continue
+		}
+		merged.sum += pt.sum
+		merged.count += pt.count
+		if pt.min < merged.min {
+			merged.min = pt.min
+		}
+		if pt.max > merged.max {
+			merged.max = pt.max
+		}
+	}
+	st := Stats{
+		RowsScanned:  int64(n),
+		MachineTicks: ceilDiv(int64(n)*m.cfg.RowProcessCost, int64(p)),
+		HostTicks:    int64(p), // merging one partial per processor
+	}
+	if !merged.any && kind != AggCount {
+		return 0, st, fmt.Errorf("dbmachine: aggregate over no valid observations")
+	}
+	switch kind {
+	case AggSum:
+		return merged.sum, st, nil
+	case AggMin:
+		return merged.min, st, nil
+	case AggMax:
+		return merged.max, st, nil
+	case AggCount:
+		return float64(merged.count), st, nil
+	}
+	return 0, st, fmt.Errorf("dbmachine: unknown aggregate %d", kind)
+}
+
+// AssociativeSearch models the pseudo-associative disk of use 2: finding
+// all entries matching a key among n cells costs ceil(n/P) probe steps
+// instead of the host's n.
+func (m *Machine) AssociativeSearch(nEntries int64) (machineProbes, hostProbes int64) {
+	return ceilDiv(nEntries, int64(m.cfg.Processors)), nEntries
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

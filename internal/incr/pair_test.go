@@ -1,0 +1,99 @@
+package incr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"statdb/internal/stats"
+)
+
+func TestCovarianceMMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 300
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 5
+		ys[i] = 2*xs[i] + rng.NormFloat64()
+	}
+	m, err := NewCovariance(xs, ys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != int64(n) {
+		t.Fatalf("N = %d", m.N())
+	}
+	check := func() {
+		t.Helper()
+		got, err := m.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := stats.Covariance(xs, ys, nil, nil)
+		if !almostEq(got, want, 1e-9*math.Max(1, math.Abs(want))) {
+			t.Fatalf("cov = %g, want %g", got, want)
+		}
+		gr, err := m.Correlation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, _ := stats.Correlation(xs, ys, nil, nil)
+		if !almostEq(gr, wr, 1e-9) {
+			t.Fatalf("corr = %g, want %g", gr, wr)
+		}
+	}
+	check()
+	// Stream of pair updates.
+	for step := 0; step < 200; step++ {
+		i := rng.Intn(n)
+		nx, ny := rng.NormFloat64()*5, rng.NormFloat64()*5
+		m.Apply(PairUpdateOf(xs[i], ys[i], nx, ny))
+		xs[i], ys[i] = nx, ny
+		if step%50 == 0 {
+			check()
+		}
+	}
+	check()
+}
+
+func TestCovarianceMValidity(t *testing.T) {
+	xs := []float64{1, 2, 999, 3}
+	ys := []float64{2, 4, -999, 6}
+	xv := []bool{true, true, false, true}
+	m, err := NewCovariance(xs, ys, xv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 {
+		t.Fatalf("N = %d", m.N())
+	}
+	r, err := m.Correlation()
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("corr = %g, %v", r, err)
+	}
+}
+
+func TestCovarianceMErrors(t *testing.T) {
+	if _, err := NewCovariance([]float64{1}, []float64{1, 2}, nil, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	m, _ := NewCovariance([]float64{1}, []float64{1}, nil, nil)
+	if _, err := m.Value(); err == nil {
+		t.Error("single pair accepted")
+	}
+	// Constant input breaks correlation but not covariance.
+	m2, _ := NewCovariance([]float64{1, 1}, []float64{2, 3}, nil, nil)
+	if _, err := m2.Correlation(); err == nil {
+		t.Error("constant-x correlation accepted")
+	}
+	if _, err := m2.Value(); err != nil {
+		t.Errorf("constant-x covariance rejected: %v", err)
+	}
+	// Delete to below 2 pairs.
+	m3, _ := NewCovariance([]float64{1, 2}, []float64{3, 4}, nil, nil)
+	m3.Apply(PairDeleteOf(1, 3))
+	if _, err := m3.Value(); err == nil {
+		t.Error("covariance after delete-to-1 accepted")
+	}
+}

@@ -1,0 +1,375 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"statdb/internal/storage"
+)
+
+// DiskTree is a B+-tree stored in pages through a buffer pool — the
+// WiSS-style persistent index. Keys are byte strings up to MaxKeyLen;
+// values are int64 payloads. Node pages are encoded directly into the
+// 4 KiB page image:
+//
+//	offset 0: type byte (0 leaf, 1 interior)
+//	offset 1: uint16 entry count
+//	offset 3: uint32 next-leaf page (leaves only; 0xFFFFFFFF none)
+//	offset 7: entries
+//
+// Leaf entry:     uvarint keylen, key bytes, 8-byte value
+// Interior entry: uvarint keylen, key bytes, 4-byte child page.
+// An interior node with n keys has n+1 children; the first child is
+// stored as an entry with an empty key.
+type DiskTree struct {
+	pool *storage.BufferPool
+	root storage.PageID
+}
+
+// MaxKeyLen bounds key size so a split is always possible (a page must
+// hold at least two maximal entries plus the header).
+const MaxKeyLen = 1024
+
+const (
+	nodeLeaf     = 0
+	nodeInterior = 1
+	diskHeader   = 7
+	noLeaf       = 0xFFFFFFFF
+)
+
+type diskEntry struct {
+	key   []byte
+	value int64          // leaf payload
+	child storage.PageID // interior pointer
+}
+
+type diskNode struct {
+	leaf    bool
+	next    storage.PageID
+	entries []diskEntry
+}
+
+func decodeNode(buf []byte) (*diskNode, error) {
+	n := &diskNode{leaf: buf[0] == nodeLeaf}
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	n.next = storage.PageID(binary.LittleEndian.Uint32(buf[3:7]))
+	rest := buf[diskHeader:]
+	for i := 0; i < count; i++ {
+		kl, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < kl {
+			return nil, fmt.Errorf("index: corrupt node entry %d", i)
+		}
+		rest = rest[sz:]
+		e := diskEntry{key: append([]byte(nil), rest[:kl]...)}
+		rest = rest[kl:]
+		if n.leaf {
+			if len(rest) < 8 {
+				return nil, fmt.Errorf("index: corrupt leaf value %d", i)
+			}
+			e.value = int64(binary.LittleEndian.Uint64(rest[:8]))
+			rest = rest[8:]
+		} else {
+			if len(rest) < 4 {
+				return nil, fmt.Errorf("index: corrupt child pointer %d", i)
+			}
+			e.child = storage.PageID(binary.LittleEndian.Uint32(rest[:4]))
+			rest = rest[4:]
+		}
+		n.entries = append(n.entries, e)
+	}
+	return n, nil
+}
+
+func (n *diskNode) encodedSize() int {
+	size := diskHeader
+	for _, e := range n.entries {
+		size += uvarintLen(uint64(len(e.key))) + len(e.key)
+		if n.leaf {
+			size += 8
+		} else {
+			size += 4
+		}
+	}
+	return size
+}
+
+func (n *diskNode) encode(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = nodeLeaf
+	} else {
+		buf[0] = nodeInterior
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	binary.LittleEndian.PutUint32(buf[3:7], uint32(n.next))
+	out := buf[diskHeader:diskHeader]
+	for _, e := range n.entries {
+		out = binary.AppendUvarint(out, uint64(len(e.key)))
+		out = append(out, e.key...)
+		if n.leaf {
+			var v [8]byte
+			binary.LittleEndian.PutUint64(v[:], uint64(e.value))
+			out = append(out, v[:]...)
+		} else {
+			var c [4]byte
+			binary.LittleEndian.PutUint32(c[:], uint32(e.child))
+			out = append(out, c[:]...)
+		}
+	}
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// NewDiskTree creates an empty persistent tree on pool, returning the
+// tree and its root page id (store it in catalog metadata to reopen).
+func NewDiskTree(pool *storage.BufferPool) (*DiskTree, error) {
+	id, page, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	root := &diskNode{leaf: true, next: noLeaf}
+	root.encode(page.Buf())
+	if err := pool.Unpin(id, true); err != nil {
+		return nil, err
+	}
+	return &DiskTree{pool: pool, root: id}, nil
+}
+
+// OpenDiskTree reattaches to an existing tree rooted at root.
+func OpenDiskTree(pool *storage.BufferPool, root storage.PageID) *DiskTree {
+	return &DiskTree{pool: pool, root: root}
+}
+
+// Root returns the current root page id (it changes when the root splits).
+func (t *DiskTree) Root() storage.PageID { return t.root }
+
+func (t *DiskTree) readNode(id storage.PageID) (*diskNode, error) {
+	page, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(page.Buf())
+	if uerr := t.pool.Unpin(id, false); uerr != nil && err == nil {
+		err = uerr
+	}
+	return n, err
+}
+
+func (t *DiskTree) writeNode(id storage.PageID, n *diskNode) error {
+	page, err := t.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	n.encode(page.Buf())
+	return t.pool.Unpin(id, true)
+}
+
+// findChild returns the child index to follow for key in an interior
+// node: the last entry whose key is <= key (entry 0 has the empty key).
+func findChild(n *diskNode, key []byte) int {
+	i := len(n.entries) - 1
+	for i > 0 && bytes.Compare(n.entries[i].key, key) > 0 {
+		i--
+	}
+	return i
+}
+
+// Get returns the value stored under key.
+func (t *DiskTree) Get(key []byte) (int64, bool, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, false, err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				cmp := bytes.Compare(e.key, key)
+				if cmp == 0 {
+					return e.value, true, nil
+				}
+				if cmp > 0 {
+					break
+				}
+			}
+			return 0, false, nil
+		}
+		id = n.entries[findChild(n, key)].child
+	}
+}
+
+// Put stores value under key, replacing any existing binding.
+func (t *DiskTree) Put(key []byte, value int64) error {
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("index: key of %d bytes exceeds max %d", len(key), MaxKeyLen)
+	}
+	sep, right, err := t.insert(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if right != storage.InvalidPage {
+		// Root split: new root with two children.
+		id, page, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		newRoot := &diskNode{leaf: false, next: noLeaf, entries: []diskEntry{
+			{key: nil, child: t.root},
+			{key: sep, child: right},
+		}}
+		newRoot.encode(page.Buf())
+		if err := t.pool.Unpin(id, true); err != nil {
+			return err
+		}
+		t.root = id
+	}
+	return nil
+}
+
+// insert adds key/value under page id; on split it returns the separator
+// and the new right page.
+func (t *DiskTree) insert(id storage.PageID, key []byte, value int64) ([]byte, storage.PageID, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, storage.InvalidPage, err
+	}
+	if n.leaf {
+		pos := len(n.entries)
+		for i, e := range n.entries {
+			cmp := bytes.Compare(e.key, key)
+			if cmp == 0 {
+				n.entries[i].value = value
+				return nil, storage.InvalidPage, t.writeNode(id, n)
+			}
+			if cmp > 0 {
+				pos = i
+				break
+			}
+		}
+		n.entries = append(n.entries, diskEntry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = diskEntry{key: append([]byte(nil), key...), value: value}
+	} else {
+		ci := findChild(n, key)
+		sep, right, err := t.insert(n.entries[ci].child, key, value)
+		if err != nil {
+			return nil, storage.InvalidPage, err
+		}
+		if right == storage.InvalidPage {
+			return nil, storage.InvalidPage, nil
+		}
+		pos := ci + 1
+		n.entries = append(n.entries, diskEntry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = diskEntry{key: sep, child: right}
+	}
+
+	if n.encodedSize() <= storage.PageSize {
+		return nil, storage.InvalidPage, t.writeNode(id, n)
+	}
+	return t.split(id, n)
+}
+
+// split divides an overfull node into two pages.
+func (t *DiskTree) split(id storage.PageID, n *diskNode) ([]byte, storage.PageID, error) {
+	mid := len(n.entries) / 2
+	var sep []byte
+	right := &diskNode{leaf: n.leaf}
+	if n.leaf {
+		sep = append([]byte(nil), n.entries[mid].key...)
+		right.entries = append(right.entries, n.entries[mid:]...)
+		right.next = n.next
+	} else {
+		// The middle key moves up; its child becomes the right node's
+		// leading (empty-key) child.
+		sep = append([]byte(nil), n.entries[mid].key...)
+		right.entries = append(right.entries, diskEntry{key: nil, child: n.entries[mid].child})
+		right.entries = append(right.entries, n.entries[mid+1:]...)
+		right.next = noLeaf
+	}
+	n.entries = n.entries[:mid]
+
+	rid, page, err := t.pool.NewPage()
+	if err != nil {
+		return nil, storage.InvalidPage, err
+	}
+	right.encode(page.Buf())
+	if err := t.pool.Unpin(rid, true); err != nil {
+		return nil, storage.InvalidPage, err
+	}
+	if n.leaf {
+		n.next = rid
+	}
+	if err := t.writeNode(id, n); err != nil {
+		return nil, storage.InvalidPage, err
+	}
+	return sep, rid, nil
+}
+
+// Delete removes key, reporting whether it was present. Like the
+// in-memory tree, underflow is left lazy.
+func (t *DiskTree) Delete(key []byte) (bool, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf {
+			for i, e := range n.entries {
+				if bytes.Equal(e.key, key) {
+					n.entries = append(n.entries[:i], n.entries[i+1:]...)
+					return true, t.writeNode(id, n)
+				}
+			}
+			return false, nil
+		}
+		id = n.entries[findChild(n, key)].child
+	}
+}
+
+// Scan visits entries with start <= key < end in order (nil end =
+// unbounded). fn returning false stops early.
+func (t *DiskTree) Scan(start, end []byte, fn func(key []byte, value int64) bool) error {
+	// Descend to the leaf containing start.
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			break
+		}
+		id = n.entries[findChild(n, start)].child
+	}
+	for id != noLeaf {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		for _, e := range n.entries {
+			if bytes.Compare(e.key, start) < 0 {
+				continue
+			}
+			if end != nil && bytes.Compare(e.key, end) >= 0 {
+				return nil
+			}
+			if !fn(e.key, e.value) {
+				return nil
+			}
+		}
+		id = n.next
+	}
+	return nil
+}

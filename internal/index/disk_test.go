@@ -1,0 +1,224 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"statdb/internal/storage"
+)
+
+func newDiskTree(t testing.TB) *DiskTree {
+	t.Helper()
+	dev := storage.NewMemDevice(storage.DefaultDiskCost())
+	tr, err := NewDiskTree(storage.NewBufferPool(dev, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDiskTreeBasics(t *testing.T) {
+	tr := newDiskTree(t)
+	if _, ok, err := tr.Get([]byte("x")); err != nil || ok {
+		t.Fatalf("empty Get = %v, %v", ok, err)
+	}
+	if err := tr.Put([]byte("median/AVE_SALARY"), 42); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get([]byte("median/AVE_SALARY"))
+	if err != nil || !ok || v != 42 {
+		t.Fatalf("Get = %d, %v, %v", v, ok, err)
+	}
+	// Put replaces.
+	if err := tr.Put([]byte("median/AVE_SALARY"), 43); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = tr.Get([]byte("median/AVE_SALARY"))
+	if v != 43 {
+		t.Fatalf("after replace: %d", v)
+	}
+	// Oversized key rejected.
+	if err := tr.Put(bytes.Repeat([]byte("k"), MaxKeyLen+1), 1); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+func TestDiskTreeManyKeysAgainstMap(t *testing.T) {
+	tr := newDiskTree(t)
+	ref := map[string]int64{}
+	rng := rand.New(rand.NewSource(5))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%06d", rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := int64(rng.Intn(1 << 30))
+			if err := tr.Put([]byte(k), v); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		case 2:
+			got, err := tr.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("Delete(%q) = %v, want %v", k, got, want)
+			}
+			delete(ref, k)
+		}
+	}
+	for k, want := range ref {
+		v, ok, err := tr.Get([]byte(k))
+		if err != nil || !ok || v != want {
+			t.Fatalf("Get(%q) = %d,%v,%v want %d", k, v, ok, err, want)
+		}
+	}
+	// Full scan ordered and complete.
+	var prev []byte
+	count := 0
+	err := tr.Scan(nil, nil, func(k []byte, v int64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order at %q", k)
+		}
+		prev = append(prev[:0], k...)
+		if ref[string(k)] != v {
+			t.Fatalf("scan value mismatch at %q", k)
+		}
+		count++
+		return true
+	})
+	if err != nil || count != len(ref) {
+		t.Fatalf("scan: %d of %d, %v", count, len(ref), err)
+	}
+}
+
+func TestDiskTreeInteriorSplits(t *testing.T) {
+	tr := newDiskTree(t)
+	// Long keys force small fan-out so interior nodes split too.
+	pad := bytes.Repeat([]byte("p"), 200)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := append([]byte(fmt.Sprintf("%06d-", i)), pad...)
+		if err := tr.Put(k, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{0, 1, 999, 1998, 1999} {
+		k := append([]byte(fmt.Sprintf("%06d-", i)), pad...)
+		v, ok, err := tr.Get(k)
+		if err != nil || !ok || v != int64(i) {
+			t.Fatalf("Get(%d) = %d,%v,%v", i, v, ok, err)
+		}
+	}
+	count := 0
+	if err := tr.Scan(nil, nil, func([]byte, int64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan count = %d", count)
+	}
+}
+
+func TestDiskTreeRangeScan(t *testing.T) {
+	tr := newDiskTree(t)
+	for i := 0; i < 100; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("%03d", i)), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	err := tr.Scan([]byte("010"), []byte("015"), func(_ []byte, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != 10 || got[4] != 14 {
+		t.Fatalf("range = %v", got)
+	}
+	// Early stop.
+	n := 0
+	_ = tr.Scan(nil, nil, func([]byte, int64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop n = %d", n)
+	}
+}
+
+func TestDiskTreePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.pages")
+	dev, err := storage.OpenFileDevice(path, storage.DefaultDiskCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := storage.NewBufferPool(dev, 16)
+	tr, err := NewDiskTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%05d", i)), int64(i*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.Root()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dev2, err := storage.OpenFileDevice(path, storage.DefaultDiskCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	tr2 := OpenDiskTree(storage.NewBufferPool(dev2, 16), root)
+	for _, i := range []int{0, 1, 500, 999} {
+		v, ok, err := tr2.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if err != nil || !ok || v != int64(i*3) {
+			t.Fatalf("reopened Get(%d) = %d,%v,%v", i, v, ok, err)
+		}
+	}
+	count := 0
+	if err := tr2.Scan(nil, nil, func([]byte, int64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1000 {
+		t.Fatalf("reopened scan = %d", count)
+	}
+}
+
+func TestDiskTreeCorruptionDetected(t *testing.T) {
+	dev := storage.NewMemDevice(storage.DefaultDiskCost())
+	pool := storage.NewBufferPool(dev, 4)
+	tr, err := NewDiskTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("k"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over the root page on the device.
+	buf := make([]byte, storage.PageSize)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if err := dev.WritePage(tr.Root(), buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh tree handle (cold pool) must surface the corruption.
+	tr2 := OpenDiskTree(storage.NewBufferPool(dev, 4), tr.Root())
+	if _, _, err := tr2.Get([]byte("k")); err == nil {
+		t.Error("corrupt node read succeeded")
+	}
+}

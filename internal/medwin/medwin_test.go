@@ -1,0 +1,302 @@
+package medwin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"statdb/internal/stats"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func seq(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return xs
+}
+
+func TestMedianMatchesStats(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 101, 1000} {
+		xs := seq(n)
+		w, err := NewMedian(xs, nil, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.Value()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, _ := stats.Median(xs, nil)
+		if got != want {
+			t.Errorf("n=%d: window %g, stats %g", n, got, want)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewQuantile(seq(10), nil, 0, 100); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewQuantile(seq(10), nil, 1, 100); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := NewMedian(seq(10), nil, 2); err == nil {
+		t.Error("capacity 2 accepted")
+	}
+}
+
+func TestSlidesAbsorbSmallUpdates(t *testing.T) {
+	xs := seq(1001)
+	w, err := NewMedian(xs, nil, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: small updates move the median only slightly, so
+	// they are absorbed by the window without touching the data.
+	cur := append([]float64(nil), xs...)
+	for i := 0; i < 40; i++ {
+		old := cur[i]
+		nv := old + 2000 // push a low value to the top: median shifts right
+		if err := w.Delete(old); err != nil {
+			t.Fatal(err)
+		}
+		w.Insert(nv)
+		cur[i] = nv
+		if w.NeedsRebuild() {
+			t.Fatalf("rebuild needed after only %d updates with 101-wide window", i+1)
+		}
+		got, err := w.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := stats.Median(cur, nil)
+		if got != want {
+			t.Fatalf("update %d: window %g, batch %g", i, got, want)
+		}
+	}
+	if w.Rebuilds() != 0 {
+		t.Errorf("rebuilds = %d", w.Rebuilds())
+	}
+}
+
+func TestPointerRunsOffAndRebuilds(t *testing.T) {
+	xs := seq(1001)
+	w, err := NewMedian(xs, nil, 11) // tiny window: runs off quickly
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := append([]float64(nil), xs...)
+	ran := false
+	for i := 0; i < 400; i++ {
+		old := cur[i]
+		nv := old + 5000
+		if err := w.Delete(old); err != nil {
+			t.Fatal(err)
+		}
+		w.Insert(nv)
+		cur[i] = nv
+		if w.NeedsRebuild() {
+			ran = true
+			if _, err := w.Value(); err == nil {
+				t.Fatal("Value succeeded despite run-off")
+			}
+			w.Rebuild(cur, nil)
+		}
+		got, err := w.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := stats.Median(cur, nil)
+		if got != want {
+			t.Fatalf("update %d: window %g, batch %g", i, got, want)
+		}
+	}
+	if !ran || w.Rebuilds() == 0 {
+		t.Error("pointer never ran off an 11-wide window under 400 one-directional updates")
+	}
+}
+
+func TestQuartileWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 50
+	}
+	for _, p := range []float64{0.05, 0.25, 0.75, 0.95} {
+		w, err := NewQuantile(xs, nil, p, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.Value()
+		if err != nil {
+			t.Fatalf("p=%g: %v", p, err)
+		}
+		want, _ := stats.Quantile(xs, nil, p)
+		if !almostEq(got, want, 1e-12) {
+			t.Errorf("p=%g: window %g, stats %g", p, got, want)
+		}
+	}
+}
+
+func TestWindowEmptiesGoesDegenerate(t *testing.T) {
+	// Delete every window value: the structure must demand a rebuild
+	// rather than serve wrong answers from the side counts.
+	xs := seq(100)
+	w, err := NewMedian(xs, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window holds order stats around 49-50 (values ~47..51). Delete them.
+	for v := 40.0; v <= 60; v++ {
+		if err := w.Delete(v); err != nil {
+			// Values outside the window delete through the counts.
+			t.Fatalf("delete %g: %v", v, err)
+		}
+	}
+	if !w.NeedsRebuild() {
+		t.Fatal("window survived deletion of all its values")
+	}
+	if _, err := w.Value(); err == nil {
+		t.Error("degenerate window still answered")
+	}
+	// Inserts while degenerate keep N correct.
+	w.Insert(7)
+	cur := make([]float64, 0, 80)
+	for v := 0.0; v < 100; v++ {
+		if v >= 40 && v <= 60 {
+			continue
+		}
+		cur = append(cur, v)
+	}
+	cur = append(cur, 7)
+	if w.N() != len(cur) {
+		t.Errorf("N = %d, want %d", w.N(), len(cur))
+	}
+	w.Rebuild(cur, nil)
+	got, err := w.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := stats.Median(cur, nil)
+	if got != want {
+		t.Errorf("median after rebuild = %g, want %g", got, want)
+	}
+}
+
+func TestDeleteAccounting(t *testing.T) {
+	xs := seq(100)
+	w, err := NewMedian(xs, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.N()
+	if n != 100 {
+		t.Fatalf("N = %d", n)
+	}
+	if err := w.Delete(0); err != nil { // below the window
+		t.Fatal(err)
+	}
+	if err := w.Delete(99); err != nil { // above the window
+		t.Fatal(err)
+	}
+	if w.N() != 98 {
+		t.Errorf("N = %d after two deletes", w.N())
+	}
+	if err := w.Delete(47.5); err == nil {
+		t.Error("delete of absent in-window value accepted")
+	}
+}
+
+func TestValidityMask(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 1e9}
+	valid := []bool{true, true, true, true, false}
+	w, err := NewMedian(xs, valid, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := w.Value()
+	if got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+}
+
+func TestRandomStreamAgainstBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	cur := make([]float64, 300)
+	for i := range cur {
+		cur[i] = math.Round(rng.NormFloat64() * 100)
+	}
+	w, err := NewMedian(cur, nil, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2000; step++ {
+		i := rng.Intn(len(cur))
+		old := cur[i]
+		nv := math.Round(rng.NormFloat64() * 100)
+		if err := w.Delete(old); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		w.Insert(nv)
+		cur[i] = nv
+		if w.NeedsRebuild() {
+			w.Rebuild(cur, nil)
+		}
+		got, err := w.Value()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, _ := stats.Median(cur, nil)
+		if got != want {
+			t.Fatalf("step %d: window %g, batch %g", step, got, want)
+		}
+	}
+	t.Logf("rebuilds=%d slides=%d", w.Rebuilds(), w.Slides())
+}
+
+func TestTracker(t *testing.T) {
+	cur := seq(501)
+	source := func() ([]float64, []bool) { return cur, nil }
+	tr, err := NewTracker(source, 51, 0.25, 0.5, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Passes() != 1 {
+		t.Errorf("initial passes = %d", tr.Passes())
+	}
+	med, err := tr.Median()
+	if err != nil || med != 250 {
+		t.Errorf("median = %g, %v", med, err)
+	}
+	q1, err := tr.Quantile(0.25)
+	if err != nil || q1 != 125 {
+		t.Errorf("q1 = %g, %v", q1, err)
+	}
+	if _, err := tr.Quantile(0.99); err == nil {
+		t.Error("untracked quantile accepted")
+	}
+	// Drive the median off its window; Quantile must transparently
+	// regenerate with one extra pass.
+	for i := 0; i < 200; i++ {
+		old := cur[i]
+		nv := old + 10000
+		if err := tr.Update(old, nv); err != nil {
+			t.Fatal(err)
+		}
+		cur[i] = nv
+	}
+	med, err = tr.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := stats.Median(cur, nil)
+	if med != want {
+		t.Errorf("median after updates = %g, want %g", med, want)
+	}
+	if tr.Passes() < 2 {
+		t.Errorf("passes = %d; expected a regeneration", tr.Passes())
+	}
+}

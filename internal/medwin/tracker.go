@@ -1,0 +1,88 @@
+package medwin
+
+import "fmt"
+
+// Source re-reads the underlying column for regeneration passes. The
+// summary layer binds this to a view column scan, so each regeneration
+// costs exactly one pass over the data.
+type Source func() (xs []float64, valid []bool)
+
+// Tracker maintains several quantile windows over one column (median and
+// quartiles, say) and transparently regenerates any window whose pointer
+// runs off, counting the passes it spends.
+type Tracker struct {
+	source  Source
+	windows map[float64]*Window
+	passes  int
+}
+
+// NewTracker builds windows of the given capacity for each quantile in ps
+// over the column provided by source.
+func NewTracker(source Source, capacity int, ps ...float64) (*Tracker, error) {
+	if len(ps) == 0 {
+		ps = []float64{0.5}
+	}
+	t := &Tracker{source: source, windows: make(map[float64]*Window, len(ps))}
+	xs, valid := source()
+	for _, p := range ps {
+		w, err := NewQuantile(xs, valid, p, capacity)
+		if err != nil {
+			return nil, err
+		}
+		t.windows[p] = w
+	}
+	t.passes = 1 // the initial build read the column once
+	return t, nil
+}
+
+// Passes returns how many full passes over the data the tracker has made
+// (initial build plus regenerations).
+func (t *Tracker) Passes() int { return t.passes }
+
+// Insert records a new value in every window.
+func (t *Tracker) Insert(x float64) {
+	for _, w := range t.windows {
+		w.Insert(x)
+	}
+}
+
+// Delete removes one copy of x from every window.
+func (t *Tracker) Delete(x float64) error {
+	for _, w := range t.windows {
+		if err := w.Delete(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Update replaces old with new in every window.
+func (t *Tracker) Update(old, new float64) error {
+	if err := t.Delete(old); err != nil {
+		return err
+	}
+	t.Insert(new)
+	return nil
+}
+
+// Quantile returns the tracked p-quantile, regenerating its window (one
+// pass, shared across all windows needing it) if the pointer ran off.
+func (t *Tracker) Quantile(p float64) (float64, error) {
+	w, ok := t.windows[p]
+	if !ok {
+		return 0, fmt.Errorf("medwin: quantile %g not tracked", p)
+	}
+	if w.NeedsRebuild() {
+		xs, valid := t.source()
+		t.passes++
+		for _, other := range t.windows {
+			if other.NeedsRebuild() {
+				other.Rebuild(xs, valid)
+			}
+		}
+	}
+	return w.Value()
+}
+
+// Median returns the tracked median.
+func (t *Tracker) Median() (float64, error) { return t.Quantile(0.5) }

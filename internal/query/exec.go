@@ -1,0 +1,205 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"statdb/internal/core"
+)
+
+// Executor runs parsed commands against a DBMS on behalf of one analyst,
+// writing human-readable results to Out.
+type Executor struct {
+	DBMS    *core.DBMS
+	Analyst *core.Analyst
+	Out     io.Writer
+}
+
+// NewExecutor creates an executor for the named analyst.
+func NewExecutor(d *core.DBMS, analyst string, out io.Writer) *Executor {
+	return &Executor{DBMS: d, Analyst: d.Analyst(analyst), Out: out}
+}
+
+// Run parses and executes one statement.
+func (e *Executor) Run(input string) error {
+	input = strings.TrimSpace(input)
+	if input == "" {
+		return nil
+	}
+	cmd, err := Parse(input)
+	if err != nil {
+		return err
+	}
+	return e.Exec(cmd)
+}
+
+const helpText = `commands:
+  files                                       list raw archive files
+  views                                       list views
+  materialize V from FILE [where P] [project A,B] [decode A] [sort A [desc]]
+  compute FN ATTR on V                        fn: count sum mean variance sd min max median q1 q3 mode unique
+  summary V                                   dump V's summary database (Figure 4)
+  describe A on V                             standing summary info (Section 3.2)
+  frequencies A on V                          value counts for a string attribute
+  update V set ATTR = VALUE where P           VALUE may be null
+  undo V                                      undo V's most recent update
+  history V                                   show V's update history
+  publish V                                   share V with other analysts
+  show V [limit N]                            print rows
+  histogram A on V [bins N]                   binned frequencies with bars
+  crosstab A B on V                           contingency table + chi-square
+  correlate A B on V [rank]                   Pearson (or Spearman) correlation
+  ttest A by G on V                           Welch two-sample t-test between G's two groups
+  regress Y on X1,X2 over V                   OLS fit
+  sample N from V as NEW [seed S]             random-sample view
+  rollback V to SEQ                           undo updates after history #SEQ
+  advice V                                    storage-layout recommendation
+  import 'file.csv' as NAME                   CSV -> raw archive (schema inferred)
+  export V to 'file.csv'                      view -> CSV
+  help
+`
+
+// Exec executes a parsed command.
+func (e *Executor) Exec(cmd Command) error {
+	if handled, err := e.execAnalysis(cmd); handled {
+		return err
+	}
+	switch c := cmd.(type) {
+	case Help:
+		fmt.Fprint(e.Out, helpText)
+		return nil
+	case Files:
+		for _, f := range e.DBMS.Archive().Files() {
+			rows, _ := e.DBMS.Archive().Rows(f)
+			fmt.Fprintf(e.Out, "%s\t%d rows\n", f, rows)
+		}
+		return nil
+	case Views:
+		for _, n := range e.DBMS.Management().Views() {
+			def, _ := e.DBMS.Management().View(n)
+			vis := "private"
+			if def.Public {
+				vis = "public"
+			}
+			fmt.Fprintf(e.Out, "%s\tanalyst=%s\tsource=%s\t%s\n", n, def.Analyst, def.Source, vis)
+		}
+		return nil
+	case Materialize:
+		return e.execMaterialize(c)
+	case Compute:
+		v, err := e.Analyst.View(c.View)
+		if err != nil {
+			return err
+		}
+		val, err := v.Compute(c.Fn, c.Attr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(e.Out, "%s(%s) = %g\n", c.Fn, c.Attr, val)
+		return nil
+	case SummaryDump:
+		v, err := e.Analyst.View(c.View)
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(e.Out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "FUNCTION_NAME\tATTRIBUTE_NAME\tRESULT\tSTATE")
+		for _, row := range v.Summary().Dump() {
+			state := "fresh"
+			if !row.Fresh {
+				state = "stale"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", row.Function, row.Attribute, row.Result, state)
+		}
+		return w.Flush()
+	case Update:
+		v, err := e.Analyst.View(c.View)
+		if err != nil {
+			return err
+		}
+		n, err := v.UpdateWhere(c.Attr, c.Where, c.Value)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(e.Out, "%d rows updated\n", n)
+		return nil
+	case Undo:
+		v, err := e.Analyst.View(c.View)
+		if err != nil {
+			return err
+		}
+		if err := v.Undo(); err != nil {
+			return err
+		}
+		fmt.Fprintln(e.Out, "undone")
+		return nil
+	case HistoryCmd:
+		v, err := e.Analyst.View(c.View)
+		if err != nil {
+			return err
+		}
+		for _, rec := range v.History().Records() {
+			fmt.Fprintf(e.Out, "#%d\t%s\t%s\t(%d cells)\n", rec.Seq, rec.Analyst, rec.Description, len(rec.Changes))
+		}
+		return nil
+	case Publish:
+		if err := e.Analyst.Publish(c.View); err != nil {
+			return err
+		}
+		fmt.Fprintf(e.Out, "view %s published\n", c.View)
+		return nil
+	case Show:
+		v, err := e.Analyst.View(c.View)
+		if err != nil {
+			return err
+		}
+		ds := v.Dataset()
+		w := tabwriter.NewWriter(e.Out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, strings.Join(ds.Schema().Names(), "\t"))
+		n := ds.Rows()
+		if n > c.Limit {
+			n = c.Limit
+		}
+		for i := 0; i < n; i++ {
+			cells := make([]string, ds.Schema().Len())
+			for j := range cells {
+				cells[j] = ds.Cell(i, j).String()
+			}
+			fmt.Fprintln(w, strings.Join(cells, "\t"))
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if ds.Rows() > c.Limit {
+			fmt.Fprintf(e.Out, "... (%d more rows)\n", ds.Rows()-c.Limit)
+		}
+		return nil
+	}
+	return fmt.Errorf("query: unhandled command %T", cmd)
+}
+
+func (e *Executor) execMaterialize(c Materialize) error {
+	mb := e.Analyst.Materialize(c.Source)
+	b := mb.Builder()
+	if c.Where != nil {
+		b.Select(c.Where)
+	}
+	if len(c.Project) > 0 {
+		b.Project(c.Project...)
+	}
+	for _, a := range c.Decode {
+		b.Decode(a)
+	}
+	if len(c.SortBy) > 0 {
+		b.Sort(c.SortBy...)
+	}
+	v, err := mb.Build(c.View)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(e.Out, "view %s materialized: %d rows, %d attributes\n",
+		c.View, v.Rows(), v.Dataset().Schema().Len())
+	return nil
+}

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the lexer and parser never panic on arbitrary input — they
+// either produce a command or an error. A REPL must survive anything the
+// analyst types.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every successfully parsed command re-parses identically when
+// the input is well-formed keyword commands assembled from fragments.
+func TestParseFragmentsProperty(t *testing.T) {
+	fragments := []string{
+		"materialize", "v", "from", "f", "where", "A", "=", "1", "and",
+		"project", ",", "B", "compute", "mean", "on", "update", "set",
+		"null", "is", "not", "'str'", "3.5", "-2", "sort", "desc",
+		"histogram", "bins", "sample", "as", "seed", "rollback", "to",
+	}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		var input string
+		for _, p := range picks {
+			input += fragments[int(p)%len(fragments)] + " "
+		}
+		_, _ = Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

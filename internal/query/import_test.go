@@ -1,0 +1,82 @@
+package query
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"statdb/internal/core"
+)
+
+func TestImportExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csvIn := filepath.Join(dir, "people.csv")
+	content := "id,age,salary,name\n1,30,50000.5,ann\n2,45,,bob\n3,28,41000,carol\n"
+	if err := os.WriteFile(csvIn, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d := core.New()
+	var out bytes.Buffer
+	e := NewExecutor(d, "a", &out)
+
+	if err := e.Run("import '" + csvIn + "' as people"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 rows, 4 attributes") {
+		t.Fatalf("import output: %q", out.String())
+	}
+	out.Reset()
+	if err := e.Run("materialize adults from people where age >= 30"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 rows") {
+		t.Fatalf("materialize output: %q", out.String())
+	}
+	out.Reset()
+	if err := e.Run("compute mean salary on adults"); err != nil {
+		t.Fatal(err)
+	}
+	// Rows 1 (50000.5) and 2 (missing): mean over present values.
+	if !strings.Contains(out.String(), "50000.5") {
+		t.Fatalf("compute output: %q", out.String())
+	}
+
+	csvOut := filepath.Join(dir, "adults.csv")
+	out.Reset()
+	if err := e.Run("export adults to '" + csvOut + "'"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "id,age,salary,name") || !strings.Contains(got, "ann") {
+		t.Fatalf("exported csv: %q", got)
+	}
+	// Missing value exported as empty field.
+	if !strings.Contains(got, "2,45,,bob") {
+		t.Fatalf("missing value not empty: %q", got)
+	}
+}
+
+func TestImportExportErrors(t *testing.T) {
+	d := core.New()
+	var out bytes.Buffer
+	e := NewExecutor(d, "a", &out)
+	if err := e.Run("import '/no/such/file.csv' as x"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := e.Run("export missing to '/tmp/x.csv'"); err == nil {
+		t.Error("missing view accepted")
+	}
+	if _, err := Parse("import path.csv as x"); err == nil {
+		t.Error("unquoted path accepted")
+	}
+	if _, err := Parse("export v to path.csv"); err == nil {
+		t.Error("unquoted export path accepted")
+	}
+}

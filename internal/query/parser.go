@@ -1,0 +1,465 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"statdb/internal/dataset"
+	"statdb/internal/relalg"
+)
+
+// Command is a parsed statement.
+type Command interface{ cmd() }
+
+// Files lists the raw archive.
+type Files struct{}
+
+// Views lists registered views.
+type Views struct{}
+
+// Help prints usage.
+type Help struct{}
+
+// Materialize builds a concrete view.
+type Materialize struct {
+	View    string
+	Source  string
+	Where   relalg.Predicate // nil when absent
+	Project []string         // nil when absent
+	Decode  []string
+	SortBy  []relalg.SortKey
+}
+
+// Compute evaluates a function over a view attribute.
+type Compute struct {
+	Fn   string
+	Attr string
+	View string
+}
+
+// SummaryDump prints a view's Figure 4 table.
+type SummaryDump struct{ View string }
+
+// Update modifies matching rows.
+type Update struct {
+	View  string
+	Attr  string
+	Value dataset.Value // Null for `= null`
+	Where relalg.Predicate
+}
+
+// Undo reverses the last update.
+type Undo struct{ View string }
+
+// HistoryCmd lists a view's update history.
+type HistoryCmd struct{ View string }
+
+// Publish shares a view.
+type Publish struct{ View string }
+
+// Show prints rows of a view.
+type Show struct {
+	View  string
+	Limit int
+}
+
+func (Files) cmd()       {}
+func (Views) cmd()       {}
+func (Help) cmd()        {}
+func (Materialize) cmd() {}
+func (Compute) cmd()     {}
+func (SummaryDump) cmd() {}
+func (Update) cmd()      {}
+func (Undo) cmd()        {}
+func (HistoryCmd) cmd()  {}
+func (Publish) cmd()     {}
+func (Show) cmd()        {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes a word token case-insensitively.
+func (p *parser) keyword(words ...string) (string, bool) {
+	t := p.peek()
+	if t.kind != tokWord {
+		return "", false
+	}
+	for _, w := range words {
+		if strings.EqualFold(t.text, w) {
+			p.next()
+			return strings.ToLower(w), true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) expectWord(what string) (string, error) {
+	t := p.next()
+	if t.kind != tokWord {
+		return "", fmt.Errorf("query: expected %s, got %s", what, t)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectKeyword(word string) error {
+	if _, ok := p.keyword(word); !ok {
+		return fmt.Errorf("query: expected %q, got %s", word, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectEOF() error {
+	if t := p.peek(); t.kind != tokEOF {
+		return fmt.Errorf("query: unexpected trailing %s", t)
+	}
+	return nil
+}
+
+// Parse parses one statement.
+func Parse(input string) (Command, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	kw, ok := p.keyword("files", "views", "help", "materialize", "compute",
+		"summary", "update", "undo", "history", "publish", "show",
+		"histogram", "crosstab", "correlate", "regress", "sample",
+		"rollback", "advice", "import", "export", "save", "describe", "frequencies", "ttest")
+	if !ok {
+		return nil, fmt.Errorf("query: unknown command %s (try 'help')", p.peek())
+	}
+	var cmd Command
+	switch kw {
+	case "files":
+		cmd = Files{}
+	case "views":
+		cmd = Views{}
+	case "help":
+		cmd = Help{}
+	case "materialize":
+		cmd, err = p.parseMaterialize()
+	case "compute":
+		cmd, err = p.parseCompute()
+	case "summary":
+		var v string
+		v, err = p.expectWord("view name")
+		cmd = SummaryDump{View: v}
+	case "update":
+		cmd, err = p.parseUpdate()
+	case "undo":
+		var v string
+		v, err = p.expectWord("view name")
+		cmd = Undo{View: v}
+	case "history":
+		var v string
+		v, err = p.expectWord("view name")
+		cmd = HistoryCmd{View: v}
+	case "publish":
+		var v string
+		v, err = p.expectWord("view name")
+		cmd = Publish{View: v}
+	case "show":
+		cmd, err = p.parseShow()
+	case "histogram":
+		cmd, err = p.parseHistogram()
+	case "crosstab":
+		cmd, err = p.parseCrosstab()
+	case "correlate":
+		cmd, err = p.parseCorrelate()
+	case "regress":
+		cmd, err = p.parseRegress()
+	case "sample":
+		cmd, err = p.parseSample()
+	case "rollback":
+		cmd, err = p.parseRollback()
+	case "advice":
+		var v string
+		v, err = p.expectWord("view name")
+		cmd = AdviceCmd{View: v}
+	case "import":
+		cmd, err = p.parseImport()
+	case "export":
+		cmd, err = p.parseExport()
+	case "save":
+		cmd, err = p.parseSave()
+	case "ttest":
+		cmd, err = p.parseTTest()
+	case "describe":
+		var attr, v string
+		attr, err = p.expectWord("attribute")
+		if err == nil {
+			err = p.expectKeyword("on")
+		}
+		if err == nil {
+			v, err = p.expectWord("view name")
+		}
+		cmd = DescribeCmd{Attr: attr, View: v}
+	case "frequencies":
+		var attr, v string
+		attr, err = p.expectWord("attribute")
+		if err == nil {
+			err = p.expectKeyword("on")
+		}
+		if err == nil {
+			v, err = p.expectWord("view name")
+		}
+		cmd = FrequenciesCmd{Attr: attr, View: v}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// materialize V from FILE [where P] [project a,b] [decode a] [sort a [desc]]
+func (p *parser) parseMaterialize() (Command, error) {
+	name, err := p.expectWord("view name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	src, err := p.expectWord("source file")
+	if err != nil {
+		return nil, err
+	}
+	m := Materialize{View: name, Source: src}
+	for {
+		kw, ok := p.keyword("where", "project", "decode", "sort")
+		if !ok {
+			break
+		}
+		switch kw {
+		case "where":
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			m.Where = pred
+		case "project":
+			cols, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			m.Project = cols
+		case "decode":
+			a, err := p.expectWord("attribute")
+			if err != nil {
+				return nil, err
+			}
+			m.Decode = append(m.Decode, a)
+		case "sort":
+			a, err := p.expectWord("attribute")
+			if err != nil {
+				return nil, err
+			}
+			key := relalg.SortKey{Attr: a}
+			if _, ok := p.keyword("desc"); ok {
+				key.Desc = true
+			}
+			m.SortBy = append(m.SortBy, key)
+		}
+	}
+	return m, nil
+}
+
+// compute FN ATTR on VIEW
+func (p *parser) parseCompute() (Command, error) {
+	fn, err := p.expectWord("function name")
+	if err != nil {
+		return nil, err
+	}
+	attr, err := p.expectWord("attribute")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	v, err := p.expectWord("view name")
+	if err != nil {
+		return nil, err
+	}
+	return Compute{Fn: strings.ToLower(fn), Attr: attr, View: v}, nil
+}
+
+// update VIEW set ATTR = VALUE where P
+func (p *parser) parseUpdate() (Command, error) {
+	v, err := p.expectWord("view name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	attr, err := p.expectWord("attribute")
+	if err != nil {
+		return nil, err
+	}
+	if t := p.next(); t.kind != tokSymbol || t.text != "=" {
+		return nil, fmt.Errorf("query: expected '=', got %s", t)
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("where"); err != nil {
+		return nil, err
+	}
+	pred, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	return Update{View: v, Attr: attr, Value: val, Where: pred}, nil
+}
+
+// show VIEW [limit N]
+func (p *parser) parseShow() (Command, error) {
+	v, err := p.expectWord("view name")
+	if err != nil {
+		return nil, err
+	}
+	s := Show{View: v, Limit: 10}
+	if _, ok := p.keyword("limit"); ok {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("query: expected limit count, got %s", t)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("query: bad limit %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+// parsePredicate parses `term (and term)*` where term is
+// `ATTR op VALUE` or `ATTR is [not] null`.
+func (p *parser) parsePredicate() (relalg.Predicate, error) {
+	var terms relalg.And
+	for {
+		term, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, term)
+		if _, ok := p.keyword("and"); !ok {
+			break
+		}
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return terms, nil
+}
+
+func (p *parser) parseTerm() (relalg.Predicate, error) {
+	attr, err := p.expectWord("attribute")
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.keyword("is"); ok {
+		if _, not := p.keyword("not"); not {
+			if err := p.expectKeyword("null"); err != nil {
+				return nil, err
+			}
+			return relalg.NotNull{Attr: attr}, nil
+		}
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return relalg.IsNull{Attr: attr}, nil
+	}
+	t := p.next()
+	if t.kind != tokSymbol {
+		return nil, fmt.Errorf("query: expected comparison operator, got %s", t)
+	}
+	var op relalg.Op
+	switch t.text {
+	case "=":
+		op = relalg.Eq
+	case "!=":
+		op = relalg.Ne
+	case "<":
+		op = relalg.Lt
+	case "<=":
+		op = relalg.Le
+	case ">":
+		op = relalg.Gt
+	case ">=":
+		op = relalg.Ge
+	default:
+		return nil, fmt.Errorf("query: bad operator %q", t.text)
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	return relalg.Cmp{Attr: attr, Op: op, Val: val}, nil
+}
+
+// parseValue parses a literal: number, quoted string, or null.
+func (p *parser) parseValue() (dataset.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return dataset.Null, fmt.Errorf("query: bad number %q", t.text)
+			}
+			return dataset.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return dataset.Null, fmt.Errorf("query: bad number %q", t.text)
+		}
+		return dataset.Int(n), nil
+	case tokString:
+		return dataset.String(t.text), nil
+	case tokWord:
+		if strings.EqualFold(t.text, "null") {
+			return dataset.Null, nil
+		}
+		// Bare words act as string literals for ergonomic predicates
+		// (SEX = M).
+		return dataset.String(t.text), nil
+	}
+	return dataset.Null, fmt.Errorf("query: expected a value, got %s", t)
+}
+
+func (p *parser) parseNameList() ([]string, error) {
+	var out []string
+	for {
+		n, err := p.expectWord("attribute")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+		if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	return out, nil
+}

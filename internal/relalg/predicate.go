@@ -1,0 +1,220 @@
+// Package relalg implements the relational operations Section 2.3 of the
+// paper requires for materializing views — "the traditional relational
+// operations which create and transform tables" plus aggregate functions
+// — over in-memory data sets.
+package relalg
+
+import (
+	"fmt"
+
+	"statdb/internal/dataset"
+)
+
+// Op is a comparison operator in a predicate.
+type Op uint8
+
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Predicate selects rows. Implementations compile against a schema once
+// and then evaluate per row.
+type Predicate interface {
+	// Compile resolves attribute references against sch and returns the
+	// row evaluator.
+	Compile(sch *dataset.Schema) (func(row dataset.Row) bool, error)
+	// String renders the predicate for logging and update histories.
+	String() string
+}
+
+// Cmp compares one attribute against a constant. Null cells never
+// satisfy a comparison (including Ne), matching SQL-style missing-value
+// semantics; IsNull / NotNull test nullness explicitly.
+type Cmp struct {
+	Attr string
+	Op   Op
+	Val  dataset.Value
+}
+
+// Compile implements Predicate.
+func (c Cmp) Compile(sch *dataset.Schema) (func(dataset.Row) bool, error) {
+	i := sch.Index(c.Attr)
+	if i < 0 {
+		return nil, fmt.Errorf("relalg: no attribute %q", c.Attr)
+	}
+	kind := sch.At(i).Kind
+	vk := c.Val.Kind()
+	numeric := func(k dataset.Kind) bool { return k == dataset.KindInt || k == dataset.KindFloat }
+	if vk != kind && !(numeric(vk) && numeric(kind)) {
+		return nil, fmt.Errorf("relalg: comparing %s attribute %q with %s constant", kind, c.Attr, vk)
+	}
+	op := c.Op
+	val := c.Val
+	return func(row dataset.Row) bool {
+		cell := row[i]
+		if cell.IsNull() {
+			return false
+		}
+		cmp := cell.Compare(val)
+		switch op {
+		case Eq:
+			return cmp == 0
+		case Ne:
+			return cmp != 0
+		case Lt:
+			return cmp < 0
+		case Le:
+			return cmp <= 0
+		case Gt:
+			return cmp > 0
+		case Ge:
+			return cmp >= 0
+		}
+		return false
+	}, nil
+}
+
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Val) }
+
+// IsNull selects rows whose attribute is missing.
+type IsNull struct{ Attr string }
+
+// Compile implements Predicate.
+func (p IsNull) Compile(sch *dataset.Schema) (func(dataset.Row) bool, error) {
+	i := sch.Index(p.Attr)
+	if i < 0 {
+		return nil, fmt.Errorf("relalg: no attribute %q", p.Attr)
+	}
+	return func(row dataset.Row) bool { return row[i].IsNull() }, nil
+}
+
+func (p IsNull) String() string { return p.Attr + " is null" }
+
+// NotNull selects rows whose attribute is present.
+type NotNull struct{ Attr string }
+
+// Compile implements Predicate.
+func (p NotNull) Compile(sch *dataset.Schema) (func(dataset.Row) bool, error) {
+	i := sch.Index(p.Attr)
+	if i < 0 {
+		return nil, fmt.Errorf("relalg: no attribute %q", p.Attr)
+	}
+	return func(row dataset.Row) bool { return !row[i].IsNull() }, nil
+}
+
+func (p NotNull) String() string { return p.Attr + " is not null" }
+
+// And is the conjunction of its parts.
+type And []Predicate
+
+// Compile implements Predicate.
+func (a And) Compile(sch *dataset.Schema) (func(dataset.Row) bool, error) {
+	fns := make([]func(dataset.Row) bool, len(a))
+	for i, p := range a {
+		f, err := p.Compile(sch)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return func(row dataset.Row) bool {
+		for _, f := range fns {
+			if !f(row) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (a And) String() string {
+	s := ""
+	for i, p := range a {
+		if i > 0 {
+			s += " and "
+		}
+		s += "(" + p.String() + ")"
+	}
+	return s
+}
+
+// Or is the disjunction of its parts.
+type Or []Predicate
+
+// Compile implements Predicate.
+func (o Or) Compile(sch *dataset.Schema) (func(dataset.Row) bool, error) {
+	fns := make([]func(dataset.Row) bool, len(o))
+	for i, p := range o {
+		f, err := p.Compile(sch)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return func(row dataset.Row) bool {
+		for _, f := range fns {
+			if f(row) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func (o Or) String() string {
+	s := ""
+	for i, p := range o {
+		if i > 0 {
+			s += " or "
+		}
+		s += "(" + p.String() + ")"
+	}
+	return s
+}
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// Compile implements Predicate.
+func (n Not) Compile(sch *dataset.Schema) (func(dataset.Row) bool, error) {
+	f, err := n.P.Compile(sch)
+	if err != nil {
+		return nil, err
+	}
+	return func(row dataset.Row) bool { return !f(row) }, nil
+}
+
+func (n Not) String() string { return "not (" + n.P.String() + ")" }
+
+// All matches every row.
+type All struct{}
+
+// Compile implements Predicate.
+func (All) Compile(*dataset.Schema) (func(dataset.Row) bool, error) {
+	return func(dataset.Row) bool { return true }, nil
+}
+
+func (All) String() string { return "true" }

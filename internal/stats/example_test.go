@@ -1,0 +1,47 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"statdb/internal/stats"
+)
+
+// ExampleSummarize shows the standing summary values the Summary
+// Database keeps per attribute (Section 3.2 of the paper).
+func ExampleSummarize() {
+	salaries := []float64{15110, 17498, 25883, 28218, 29402, 29933, 31762, 33122, 42919}
+	s, err := stats.Summarize(salaries, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d min=%.0f median=%.0f max=%.0f\n", s.N, s.Min, s.Median, s.Max)
+	// Output:
+	// n=9 min=15110 median=29402 max=42919
+}
+
+// ExampleTrimmedMean is the Section 3.1 example: the mean of the values
+// bounded by the 5th and 95th quantiles, reusing the quantile machinery.
+func ExampleTrimmedMean() {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1e9} // one wild outlier
+	tm, err := stats.TrimmedMean(xs, nil, 0.05, 0.95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trimmed mean=%.1f\n", tm)
+	// Output:
+	// trimmed mean=5.5
+}
+
+// ExampleGoodnessOfFit runs the Section 2.2 confirmatory test: "is
+// the proportion of people who live past 40 dependent on race?"
+func ExampleGoodnessOfFit() {
+	obs := []int{45, 5, 25, 25} // race A: 45 young/5 old; race B: 25/25
+	expected := []float64{0.325, 0.175, 0.25, 0.25}
+	res, err := stats.GoodnessOfFit(obs, expected)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("df=%d reject at 5%%: %v\n", res.DF, res.PValue < 0.05)
+	// Output:
+	// df=3 reject at 5%: true
+}

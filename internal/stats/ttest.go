@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult reports a two-sample comparison.
+type TTestResult struct {
+	Statistic float64 // Welch's t
+	DF        float64 // Welch–Satterthwaite degrees of freedom
+	PValue    float64 // two-sided
+	MeanDiff  float64 // mean(a) - mean(b)
+}
+
+// WelchTTest compares the means of two independent samples without
+// assuming equal variances — the confirmatory-analysis question "do
+// these two groups differ?" (e.g. male vs female salaries in the
+// Figure 1 data). Missing values are skipped per sample.
+func WelchTTest(a []float64, avalid []bool, b []float64, bvalid []bool) (TTestResult, error) {
+	ma, err := Mean(a, avalid)
+	if err != nil {
+		return TTestResult{}, fmt.Errorf("stats: t-test sample a: %w", err)
+	}
+	mb, err := Mean(b, bvalid)
+	if err != nil {
+		return TTestResult{}, fmt.Errorf("stats: t-test sample b: %w", err)
+	}
+	va, err := Variance(a, avalid)
+	if err != nil {
+		return TTestResult{}, fmt.Errorf("stats: t-test sample a: %w", err)
+	}
+	vb, err := Variance(b, bvalid)
+	if err != nil {
+		return TTestResult{}, fmt.Errorf("stats: t-test sample b: %w", err)
+	}
+	na, nb := float64(Count(a, avalid)), float64(Count(b, bvalid))
+	sa, sb := va/na, vb/nb
+	se := sa + sb
+	if se == 0 {
+		return TTestResult{}, fmt.Errorf("stats: t-test undefined for two constant samples")
+	}
+	t := (ma - mb) / math.Sqrt(se)
+	df := se * se / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := StudentTSurvival(math.Abs(t), df) * 2
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{Statistic: t, DF: df, PValue: p, MeanDiff: ma - mb}, nil
+}
+
+// StudentTSurvival returns P(T >= t) for Student's t distribution with df
+// degrees of freedom (t >= 0), via the regularized incomplete beta
+// function: P(T >= t) = I_{df/(df+t^2)}(df/2, 1/2) / 2.
+func StudentTSurvival(t, df float64) float64 {
+	if df <= 0 || math.IsNaN(t) {
+		return math.NaN()
+	}
+	if t < 0 {
+		return 1 - StudentTSurvival(-t, df)
+	}
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x) / 2
+}
+
+// regIncBeta evaluates the regularized incomplete beta function I_x(a,b)
+// by continued fraction (Numerical Recipes betai/betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	bt := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return bt * betacf(a, b, x) / a
+	}
+	return 1 - bt*betacf(b, a, 1-x)/b
+}
+
+// betacf is the continued-fraction kernel of regIncBeta (modified Lentz).
+func betacf(a, b, x float64) float64 {
+	const (
+		itMax = 300
+		eps   = 3e-14
+		fpmin = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= itMax; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStudentTSurvivalKnownValues(t *testing.T) {
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 10, 0.5},
+		{1.812, 10, 0.05},  // 95th percentile of t_10
+		{2.228, 10, 0.025}, // 97.5th
+		{1.645, 1e6, 0.05}, // converges to normal
+		{12.706, 1, 0.025}, // t_1 (Cauchy-ish tail)
+	}
+	for _, c := range cases {
+		got := StudentTSurvival(c.t, c.df)
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("Surv(%g, %g) = %g, want %g", c.t, c.df, got, c.want)
+		}
+	}
+	// Symmetry: P(T >= -t) = 1 - P(T >= t).
+	if got := StudentTSurvival(-1.812, 10); math.Abs(got-0.95) > 5e-4 {
+		t.Errorf("negative t survival = %g", got)
+	}
+	if !math.IsNaN(StudentTSurvival(1, 0)) {
+		t.Error("df=0 did not NaN")
+	}
+}
+
+func TestWelchTTestDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := make([]float64, 200)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = rng.NormFloat64()*10 + 105 // shifted
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()*15 + 100
+	}
+	res, err := WelchTTest(a, nil, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.01 {
+		t.Errorf("true 5-unit shift not detected: p=%g t=%g", res.PValue, res.Statistic)
+	}
+	if res.MeanDiff < 2 || res.MeanDiff > 8 {
+		t.Errorf("mean diff = %g", res.MeanDiff)
+	}
+}
+
+func TestWelchTTestNoFalsePositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = rng.NormFloat64() * 8
+		b[i] = rng.NormFloat64() * 8
+	}
+	res, err := WelchTTest(a, nil, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("identical distributions rejected: p=%g", res.PValue)
+	}
+	if res.DF < 100 {
+		t.Errorf("df = %g suspiciously low", res.DF)
+	}
+}
+
+func TestWelchTTestValidityAndErrors(t *testing.T) {
+	a := []float64{1, 2, 3, 1000}
+	av := []bool{true, true, true, false}
+	b := []float64{4, 5, 6}
+	res, err := WelchTTest(a, av, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanDiff+3) > 1e-9 {
+		t.Errorf("masked mean diff = %g, want -3", res.MeanDiff)
+	}
+	if _, err := WelchTTest([]float64{1}, nil, b, nil); err == nil {
+		t.Error("single-observation sample accepted")
+	}
+	if _, err := WelchTTest([]float64{2, 2}, nil, []float64{3, 3}, nil); err == nil {
+		t.Error("two constant samples accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferPool caches device pages in memory with LRU replacement.
+// The paper notes (Section 2.4) that packages relying on the virtual
+// memory manager suffer because "memory is managed according to some
+// scheme which is not necessarily suited to the access patterns exhibited
+// for statistical databases"; an explicit pool makes the replacement
+// policy a controllable part of the system.
+//
+// The pool is not safe for concurrent use; each analyst session owns its
+// own pool, mirroring the single-analyst-per-view model of the paper.
+type BufferPool struct {
+	dev      Device
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recent
+	hits     int64
+	misses   int64
+}
+
+type frame struct {
+	id    PageID
+	buf   []byte
+	pins  int
+	dirty bool
+}
+
+// NewBufferPool creates a pool of capacity pages over dev.
+func NewBufferPool(dev Device, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		dev:      dev,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// HitRate returns the fraction of Fetch calls served from memory.
+func (bp *BufferPool) HitRate() float64 {
+	total := bp.hits + bp.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.hits) / float64(total)
+}
+
+// Fetch pins page id and returns it. The caller must Unpin it.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	if e, ok := bp.frames[id]; ok {
+		bp.hits++
+		bp.lru.MoveToFront(e)
+		f := e.Value.(*frame)
+		f.pins++
+		return NewPage(f.buf), nil
+	}
+	bp.misses++
+	if err := bp.evictIfFull(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, PageSize)
+	if err := bp.dev.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, buf: buf, pins: 1}
+	bp.frames[id] = bp.lru.PushFront(f)
+	return NewPage(f.buf), nil
+}
+
+// NewPage allocates a fresh device page, pins it, and returns it
+// initialized and marked dirty.
+func (bp *BufferPool) NewPage() (PageID, *Page, error) {
+	id, err := bp.dev.Allocate()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	if err := bp.evictIfFull(); err != nil {
+		return InvalidPage, nil, err
+	}
+	f := &frame{id: id, buf: make([]byte, PageSize), pins: 1, dirty: true}
+	bp.frames[id] = bp.lru.PushFront(f)
+	p := NewPage(f.buf)
+	p.Init()
+	return id, p, nil
+}
+
+func (bp *BufferPool) evictIfFull() error {
+	for len(bp.frames) >= bp.capacity {
+		victim := (*frame)(nil)
+		var elem *list.Element
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			f := e.Value.(*frame)
+			if f.pins == 0 {
+				victim, elem = f, e
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("storage: buffer pool of %d frames has no unpinned page", bp.capacity)
+		}
+		if victim.dirty {
+			if err := bp.dev.WritePage(victim.id, victim.buf); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(elem)
+		delete(bp.frames, victim.id)
+	}
+	return nil
+}
+
+// Unpin releases one pin on page id; dirty records that the caller
+// modified the page.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	e, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of unbuffered page %d", id)
+	}
+	f := e.Value.(*frame)
+	if f.pins == 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// FlushAll writes every dirty buffered page back to the device.
+func (bp *BufferPool) FlushAll() error {
+	for e := bp.lru.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*frame)
+		if f.dirty {
+			if err := bp.dev.WritePage(f.id, f.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}

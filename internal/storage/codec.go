@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"statdb/internal/dataset"
+)
+
+// Record codec: a dataset.Row serializes as one tag byte per value
+// followed by the payload.
+//
+//	0x00            null
+//	0x01 <varint>   int64 (zig-zag varint)
+//	0x02 <8 bytes>  float64 (IEEE bits, little endian)
+//	0x03 <uvarint><bytes> string
+const (
+	tagNull   = 0x00
+	tagInt    = 0x01
+	tagFloat  = 0x02
+	tagString = 0x03
+)
+
+// EncodeRow serializes r, appending to dst and returning the result.
+func EncodeRow(dst []byte, r dataset.Row) []byte {
+	for _, v := range r {
+		switch v.Kind() {
+		case dataset.KindInvalid:
+			dst = append(dst, tagNull)
+		case dataset.KindInt:
+			dst = append(dst, tagInt)
+			dst = binary.AppendVarint(dst, v.AsInt())
+		case dataset.KindFloat:
+			dst = append(dst, tagFloat)
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.AsFloat()))
+			dst = append(dst, b[:]...)
+		case dataset.KindString:
+			s := v.AsString()
+			dst = append(dst, tagString)
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow parses a record of n values from buf, requiring buf to be
+// fully consumed.
+func DecodeRow(buf []byte, n int) (dataset.Row, error) {
+	row, rest, err := DecodeRowPrefix(buf, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("storage: %d trailing bytes after %d values", len(rest), n)
+	}
+	return row, nil
+}
+
+// DecodeRowPrefix parses a record of n values from the front of buf and
+// returns the unconsumed tail, for block formats that concatenate rows.
+func DecodeRowPrefix(buf []byte, n int) (dataset.Row, []byte, error) {
+	r := make(dataset.Row, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) == 0 {
+			return nil, nil, fmt.Errorf("storage: record truncated at value %d of %d", i, n)
+		}
+		tag := buf[0]
+		buf = buf[1:]
+		switch tag {
+		case tagNull:
+			r = append(r, dataset.Null)
+		case tagInt:
+			v, sz := binary.Varint(buf)
+			if sz <= 0 {
+				return nil, nil, fmt.Errorf("storage: bad varint at value %d", i)
+			}
+			buf = buf[sz:]
+			r = append(r, dataset.Int(v))
+		case tagFloat:
+			if len(buf) < 8 {
+				return nil, nil, fmt.Errorf("storage: truncated float at value %d", i)
+			}
+			bits := binary.LittleEndian.Uint64(buf[:8])
+			buf = buf[8:]
+			r = append(r, dataset.Float(math.Float64frombits(bits)))
+		case tagString:
+			l, sz := binary.Uvarint(buf)
+			if sz <= 0 || uint64(len(buf)-sz) < l {
+				return nil, nil, fmt.Errorf("storage: truncated string at value %d", i)
+			}
+			buf = buf[sz:]
+			r = append(r, dataset.String(string(buf[:l])))
+			buf = buf[l:]
+		default:
+			return nil, nil, fmt.Errorf("storage: unknown value tag 0x%02x at value %d", tag, i)
+		}
+	}
+	return r, buf, nil
+}

@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: DecodeRow never panics on arbitrary bytes — it returns an
+// error for anything that is not a valid record. Storage must tolerate
+// corrupt pages.
+func TestDecodeRowNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte, n uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %d bytes, n=%d: %v", len(data), n, r)
+				ok = false
+			}
+		}()
+		_, _ = DecodeRow(data, int(n%8)+1)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slotted-page operations against a reference map never
+// disagree and never panic, across random insert/delete/update/compact
+// sequences.
+func TestPageOperationsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		p := NewPage(make([]byte, PageSize))
+		p.Init()
+		model := map[int][]byte{} // slot -> record
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0: // insert
+				rec := make([]byte, rng.Intn(200)+1)
+				rng.Read(rec)
+				slot, err := p.Insert(rec)
+				if err == ErrPageFull {
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, dup := model[slot]; dup {
+					t.Fatalf("slot %d reused while live", slot)
+				}
+				model[slot] = append([]byte(nil), rec...)
+			case 1: // delete
+				for slot := range model {
+					if err := p.Delete(slot); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, slot)
+					break
+				}
+			case 2: // update
+				for slot := range model {
+					rec := make([]byte, rng.Intn(200)+1)
+					rng.Read(rec)
+					err := p.Update(slot, rec)
+					if err == ErrPageFull {
+						break
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					model[slot] = append([]byte(nil), rec...)
+					break
+				}
+			case 3: // compact
+				p.Compact()
+			}
+			// Verify every live record.
+			for slot, want := range model {
+				got, err := p.Get(slot)
+				if err != nil {
+					t.Fatalf("trial %d op %d: Get(%d): %v", trial, op, slot, err)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("trial %d op %d: slot %d corrupted", trial, op, slot)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"statdb/internal/incr"
+	"statdb/internal/index"
+	"statdb/internal/medwin"
+	"statdb/internal/rules"
+	"statdb/internal/stats"
+)
+
+// Source re-reads one column of the view for (re)computation — the only
+// path by which the Summary Database touches the data, so counting calls
+// to it counts full column passes.
+type Source func() (xs []float64, valid []bool)
+
+// Policy selects how the whole cache reacts to updates (experiment E7).
+type Policy uint8
+
+const (
+	// PolicyStrategies applies each function's Management Database
+	// strategy: incremental, window, or invalidate (the paper's design).
+	PolicyStrategies Policy = iota
+	// PolicyInvalidateAll marks every affected entry stale on any update
+	// and regenerates lazily — the Section 4.3 fallback.
+	PolicyInvalidateAll
+	// PolicyRecomputeAll recomputes every affected entry immediately on
+	// every update — the always-precise worst case.
+	PolicyRecomputeAll
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyInvalidateAll:
+		return "invalidate-all"
+	case PolicyRecomputeAll:
+		return "recompute-all"
+	default:
+		return "per-function"
+	}
+}
+
+// Counters instrument the cache for the experiments.
+type Counters struct {
+	Hits        int64 // lookups answered from a fresh entry
+	Misses      int64 // lookups that computed from the data
+	StaleRefill int64 // lookups that found a stale entry and recomputed
+	Incremental int64 // deltas folded into maintainers
+	Slides      int64 // deltas absorbed by quantile windows
+	Rebuilds    int64 // maintainer/window rebuilds (full column passes)
+	Recomputes  int64 // strategy- or policy-forced recomputations
+	Passes      int64 // total full column passes through Sources
+}
+
+// entry is one cached (function, attributes) result.
+type entry struct {
+	fn     string
+	attrs  []string
+	result Result
+	fresh  bool
+	// Maintenance state, populated according to the function's strategy.
+	maint incr.Maintainer // StrategyIncremental
+	win   *medwin.Window  // StrategyWindow
+	// source re-reads the column for rebuilds (built-in functions).
+	source Source
+	// recompute regenerates custom results (Register entries).
+	recompute func() (Result, error)
+}
+
+func (e *entry) key() []byte {
+	parts := append(append([]string{}, e.attrs...), e.fn)
+	return index.Key(parts...)
+}
+
+func entryKey(fn string, attrs []string) []byte {
+	parts := append(append([]string{}, attrs...), fn)
+	return index.Key(parts...)
+}
+
+// DB is one view's Summary Database. Safe for concurrent use: a view may
+// be shared by "a group of users" (Section 3.2), and a published view's
+// cache serves several analysts at once. Sources are invoked while the
+// lock is held, so a Source must never call back into the same DB.
+type DB struct {
+	mu       sync.Mutex
+	mdb      *rules.ManagementDB
+	policy   Policy
+	idx      *index.BTree // (attr..., fn) -> slot
+	entries  []*entry
+	counters Counters
+	// WindowCapacity sizes quantile windows ("some number, say 100").
+	WindowCapacity int
+}
+
+// NewDB creates an empty Summary Database driven by mdb's strategies.
+func NewDB(mdb *rules.ManagementDB) *DB {
+	return &DB{mdb: mdb, idx: index.New(), WindowCapacity: 100}
+}
+
+// SetPolicy switches the cache-wide update policy.
+func (db *DB) SetPolicy(p Policy) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.policy = p
+}
+
+// Counters returns a copy of the instrumentation counters.
+func (db *DB) Counters() Counters {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.counters
+}
+
+// ResetCounters zeroes the instrumentation.
+func (db *DB) ResetCounters() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.counters = Counters{}
+}
+
+// Len returns the number of cached entries.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.entries)
+}
+
+// builtinScalar computes one of the built-in scalar functions over a
+// column. The quantile shorthands q1/median/q3 are fixed points of the
+// general quantile machinery.
+func builtinScalar(fn string, xs []float64, valid []bool) (float64, error) {
+	switch fn {
+	case "count":
+		return float64(stats.Count(xs, valid)), nil
+	case "sum":
+		return stats.Sum(xs, valid), nil
+	case "mean":
+		return stats.Mean(xs, valid)
+	case "variance":
+		return stats.Variance(xs, valid)
+	case "sd":
+		return stats.StdDev(xs, valid)
+	case "min":
+		return stats.Min(xs, valid)
+	case "max":
+		return stats.Max(xs, valid)
+	case "median":
+		return stats.Median(xs, valid)
+	case "q1":
+		return stats.Quantile(xs, valid, 0.25)
+	case "q3":
+		return stats.Quantile(xs, valid, 0.75)
+	case "unique":
+		return float64(stats.UniqueCount(xs, valid)), nil
+	case "mode":
+		m, _, err := stats.Mode(xs, valid)
+		return m, err
+	}
+	return 0, fmt.Errorf("summary: unknown built-in function %q", fn)
+}
+
+func quantileOf(fn string) (float64, bool) {
+	switch fn {
+	case "median":
+		return 0.5, true
+	case "q1":
+		return 0.25, true
+	case "q3":
+		return 0.75, true
+	}
+	return 0, false
+}
+
+// IsBuiltin reports whether fn is one of the built-in scalar functions.
+func IsBuiltin(fn string) bool {
+	_, err := builtinScalar(fn, []float64{1, 2}, nil)
+	return err == nil
+}
+
+// Scalar returns fn(attr), serving from the cache when fresh and
+// computing (and installing maintenance state) on a miss. This is the
+// search-then-insert protocol of Section 3.2: "if the desired pair is
+// found, the corresponding result will be returned; otherwise, after the
+// function has been applied ... the new information will be inserted".
+func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := entryKey(fn, []string{attr})
+	if slot, ok := db.idx.Get(key); ok {
+		e := db.entries[slot]
+		if e.fresh {
+			db.counters.Hits++
+			return e.result.Scalar, nil
+		}
+		// Stale entry: regenerate in place.
+		v, err := db.refreshScalar(e)
+		if err != nil {
+			return 0, err
+		}
+		db.counters.StaleRefill++
+		return v, nil
+	}
+	db.counters.Misses++
+	e := &entry{fn: fn, attrs: []string{attr}, source: source}
+	xs, valid := source()
+	db.counters.Passes++
+	v, err := builtinScalar(fn, xs, valid)
+	if err != nil {
+		return 0, err
+	}
+	e.result = ScalarOf(v)
+	e.fresh = true
+	db.installMaintenance(e, xs, valid)
+	db.insert(e)
+	return v, nil
+}
+
+// installMaintenance attaches the maintainer or window dictated by the
+// function's strategy, reusing the already-read column.
+func (db *DB) installMaintenance(e *entry, xs []float64, valid []bool) {
+	if db.policy != PolicyStrategies {
+		return // policy benches manage freshness, not per-function state
+	}
+	switch db.mdb.StrategyFor(e.fn) {
+	case rules.StrategyIncremental:
+		switch e.fn {
+		case "count":
+			e.maint = incr.NewCount(xs, valid)
+		case "sum":
+			e.maint = incr.NewSum(xs, valid)
+		case "mean":
+			e.maint = incr.NewMean(xs, valid)
+		case "variance":
+			e.maint = incr.NewVariance(xs, valid)
+		case "sd":
+			e.maint = incr.NewStdDev(xs, valid)
+		case "min":
+			e.maint = incr.NewMin(xs, valid)
+		case "max":
+			e.maint = incr.NewMax(xs, valid)
+		}
+	case rules.StrategyWindow:
+		if p, ok := quantileOf(e.fn); ok {
+			if w, err := medwin.NewQuantile(xs, valid, p, db.WindowCapacity); err == nil {
+				e.win = w
+			}
+		}
+	}
+}
+
+// refreshScalar regenerates a stale scalar entry from its source.
+func (db *DB) refreshScalar(e *entry) (float64, error) {
+	if e.recompute != nil {
+		r, err := e.recompute()
+		if err != nil {
+			return 0, err
+		}
+		e.result = r
+		e.fresh = true
+		db.counters.Recomputes++
+		return r.Scalar, nil
+	}
+	xs, valid := e.source()
+	db.counters.Passes++
+	v, err := builtinScalar(e.fn, xs, valid)
+	if err != nil {
+		return 0, err
+	}
+	e.result = ScalarOf(v)
+	e.fresh = true
+	db.counters.Recomputes++
+	db.installMaintenance(e, xs, valid)
+	return v, nil
+}
+
+func (db *DB) insert(e *entry) {
+	slot := int64(len(db.entries))
+	db.entries = append(db.entries, e)
+	db.idx.Put(e.key(), slot)
+}
+
+// Register caches a custom function result computed by compute. Custom
+// entries are maintained by the invalidate strategy (or the cache-wide
+// policy) and regenerate through compute.
+func (db *DB) Register(fn string, attrs []string, compute func() (Result, error)) (Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := entryKey(fn, attrs)
+	if slot, ok := db.idx.Get(key); ok {
+		e := db.entries[slot]
+		if e.fresh {
+			db.counters.Hits++
+			return e.result, nil
+		}
+		if e.recompute == nil {
+			// The key belongs to a built-in scalar entry; refresh it
+			// through the scalar path.
+			v, err := db.refreshScalar(e)
+			if err != nil {
+				return Result{}, err
+			}
+			db.counters.StaleRefill++
+			return ScalarOf(v), nil
+		}
+		r, err := e.recompute()
+		if err != nil {
+			return Result{}, err
+		}
+		e.result = r
+		e.fresh = true
+		db.counters.StaleRefill++
+		db.counters.Recomputes++
+		return r, nil
+	}
+	db.counters.Misses++
+	r, err := compute()
+	if err != nil {
+		return Result{}, err
+	}
+	db.entries = append(db.entries, &entry{
+		fn: fn, attrs: attrs, result: r, fresh: true, recompute: compute,
+	})
+	db.idx.Put(key, int64(len(db.entries)-1))
+	return r, nil
+}
+
+// Lookup returns the cached result for (fn, attrs) without computing.
+// Stale entries report !ok.
+func (db *DB) Lookup(fn string, attrs ...string) (Result, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	slot, ok := db.idx.Get(entryKey(fn, attrs))
+	if !ok {
+		return Result{}, false
+	}
+	e := db.entries[slot]
+	if !e.fresh {
+		return Result{}, false
+	}
+	db.counters.Hits++
+	return e.result, true
+}
+
+// StoreCustom inserts or overwrites a custom result computed by the
+// caller, marking it fresh. Unlike Register it stores no recompute
+// closure: after invalidation the entry stays stale until the caller
+// recomputes and stores again. This is the cache protocol for callers
+// that must not have their closures invoked under the cache lock (the
+// view layer, whose closures take the view lock).
+func (db *DB) StoreCustom(fn string, attrs []string, r Result) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.counters.Misses++
+	if slot, ok := db.idx.Get(entryKey(fn, attrs)); ok {
+		e := db.entries[slot]
+		e.result = r
+		e.fresh = true
+		return
+	}
+	db.insert(&entry{fn: fn, attrs: attrs, result: r, fresh: true})
+}
+
+// Invalidate marks every entry touching attr stale — the bulk
+// invalidation of Section 4.3. It uses the attribute-clustered index
+// scan, which experiment "ablation: clustering" measures.
+func (db *DB) Invalidate(attr string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	db.idx.ScanPrefix(index.Key(attr), func(_ []byte, slot int64) bool {
+		e := db.entries[slot]
+		if e.fresh {
+			e.fresh = false
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// OnUpdate propagates one column update (a batch of deltas against attr)
+// into the cache. Each affected entry reacts per the active policy and
+// its function's strategy, exactly the flow of Section 4.1: retrieve all
+// values clustered on the attribute, then apply each function's rules.
+func (db *DB) OnUpdate(attr string, deltas []incr.Delta) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.idx.ScanPrefix(index.Key(attr), func(_ []byte, slot int64) bool {
+		e := db.entries[slot]
+		db.applyUpdate(e, deltas)
+		return true
+	})
+}
+
+func (db *DB) applyUpdate(e *entry, deltas []incr.Delta) {
+	switch db.policy {
+	case PolicyInvalidateAll:
+		e.fresh = false
+		return
+	case PolicyRecomputeAll:
+		if e.recompute != nil {
+			if r, err := e.recompute(); err == nil {
+				e.result, e.fresh = r, true
+				db.counters.Recomputes++
+			} else {
+				e.fresh = false
+			}
+			return
+		}
+		e.fresh = false
+		if e.source != nil {
+			if _, err := db.refreshScalar(e); err != nil {
+				e.fresh = false
+			}
+		}
+		return
+	}
+
+	// PolicyStrategies.
+	switch {
+	case e.maint != nil:
+		ok := true
+		for _, d := range deltas {
+			if !e.maint.Apply(d) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			// Defeated (e.g. min's last copy deleted): rebuild from data.
+			xs, valid := e.source()
+			db.counters.Passes++
+			db.counters.Rebuilds++
+			e.maint.Rebuild(xs, valid)
+		} else {
+			db.counters.Incremental += int64(len(deltas))
+		}
+		if v, err := e.maint.Value(); err == nil {
+			e.result, e.fresh = ScalarOf(v), true
+		} else {
+			e.fresh = false
+		}
+	case e.win != nil:
+		for _, d := range deltas {
+			if d.Delete {
+				if err := e.win.Delete(d.Old); err != nil {
+					e.fresh = false
+					return
+				}
+			}
+			if d.Insert {
+				e.win.Insert(d.New)
+			}
+			db.counters.Slides++
+		}
+		if e.win.NeedsRebuild() {
+			// The pointer ran off: regenerate with one pass (Section 4.2).
+			xs, valid := e.source()
+			db.counters.Passes++
+			db.counters.Rebuilds++
+			e.win.Rebuild(xs, valid)
+		}
+		if v, err := e.win.Value(); err == nil {
+			e.result, e.fresh = ScalarOf(v), true
+		} else {
+			e.fresh = false
+		}
+	default:
+		// StrategyInvalidate (and custom entries).
+		e.fresh = false
+	}
+}
+
+// Row is one line of the Figure 4 table.
+type Row struct {
+	Function  string
+	Attribute string
+	Result    string
+	Fresh     bool
+}
+
+// Dump renders the cache as the Figure 4 three-column table, clustered by
+// attribute (the physical order of Section 4.1) and alphabetical by
+// function within an attribute.
+func (db *DB) Dump() []Row {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var rows []Row
+	db.idx.Scan(nil, nil, func(_ []byte, slot int64) bool {
+		e := db.entries[slot]
+		rows = append(rows, Row{
+			Function:  e.fn,
+			Attribute: strings.Join(e.attrs, ","),
+			Result:    e.result.String(),
+			Fresh:     e.fresh,
+		})
+		return true
+	})
+	return rows
+}
+
+// AttributesCached lists the attributes with at least one cached entry.
+func (db *DB) AttributesCached() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	set := map[string]bool{}
+	for _, e := range db.entries {
+		set[strings.Join(e.attrs, ",")] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

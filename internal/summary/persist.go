@@ -1,0 +1,204 @@
+package summary
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"statdb/internal/dataset"
+	"statdb/internal/index"
+	"statdb/internal/stats"
+	"statdb/internal/storage"
+)
+
+// Persistence: the Summary Database "may itself become relatively large"
+// (Section 3.2), so it is storable: entries go to a heap file of
+// (function, attributes, freshness, result) records with a DiskTree
+// secondary index on (attributes..., function) — the paper's clustering
+// and index choice, durable. Maintenance state (maintainers, windows,
+// recompute closures) is rebuilt lazily after Load, exactly like the
+// invalidate-fallback of Section 4.3.
+
+// resultSchema is the stored row layout.
+func resultSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Attribute{Name: "ATTRS", Kind: dataset.KindString, Category: true},
+		dataset.Attribute{Name: "FUNCTION", Kind: dataset.KindString, Category: true},
+		dataset.Attribute{Name: "FRESH", Kind: dataset.KindInt},
+		dataset.Attribute{Name: "RESULT", Kind: dataset.KindString},
+	)
+}
+
+// encodeResult serializes a Result: kind byte then payload.
+func encodeResult(r Result) []byte {
+	var out []byte
+	out = append(out, byte(r.Kind))
+	switch r.Kind {
+	case ScalarResult:
+		out = appendF64(out, r.Scalar)
+	case VectorResult:
+		out = binary.AppendUvarint(out, uint64(len(r.Vector)))
+		for _, v := range r.Vector {
+			out = appendF64(out, v)
+		}
+	case HistogramResult:
+		if r.Hist == nil {
+			out = binary.AppendUvarint(out, 0)
+			return out
+		}
+		out = binary.AppendUvarint(out, uint64(len(r.Hist.Edges)))
+		for _, e := range r.Hist.Edges {
+			out = appendF64(out, e)
+		}
+		for _, c := range r.Hist.Counts {
+			out = binary.AppendUvarint(out, uint64(c))
+		}
+	case TextResult:
+		out = append(out, r.Text...)
+	}
+	return out
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(dst, b[:]...)
+}
+
+func takeF64(buf []byte) (float64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("summary: truncated float")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:8])), buf[8:], nil
+}
+
+// decodeResult parses encodeResult's output.
+func decodeResult(buf []byte) (Result, error) {
+	if len(buf) == 0 {
+		return Result{}, fmt.Errorf("summary: empty result encoding")
+	}
+	kind := ResultKind(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case ScalarResult:
+		v, _, err := takeF64(buf)
+		if err != nil {
+			return Result{}, err
+		}
+		return ScalarOf(v), nil
+	case VectorResult:
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Result{}, fmt.Errorf("summary: bad vector length")
+		}
+		buf = buf[sz:]
+		vec := make([]float64, n)
+		var err error
+		for i := range vec {
+			vec[i], buf, err = takeF64(buf)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		return VectorOf(vec), nil
+	case HistogramResult:
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return Result{}, fmt.Errorf("summary: bad histogram length")
+		}
+		buf = buf[sz:]
+		if n == 0 {
+			return HistogramOf(nil), nil
+		}
+		h := &stats.Histogram{Edges: make([]float64, n), Counts: make([]int, n-1)}
+		var err error
+		for i := range h.Edges {
+			h.Edges[i], buf, err = takeF64(buf)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		for i := range h.Counts {
+			c, sz := binary.Uvarint(buf)
+			if sz <= 0 {
+				return Result{}, fmt.Errorf("summary: bad histogram count")
+			}
+			h.Counts[i] = int(c)
+			buf = buf[sz:]
+		}
+		return HistogramOf(h), nil
+	case TextResult:
+		return TextOf(string(buf)), nil
+	}
+	return Result{}, fmt.Errorf("summary: unknown result kind %d", kind)
+}
+
+// Save writes every entry to the heap file and indexes it in tree, which
+// must be empty. The caller persists the heap file's device and the
+// tree's root page elsewhere (a catalog).
+func (db *DB) Save(h *storage.HeapFile, tree *index.DiskTree) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !h.Schema().Equal(resultSchema()) {
+		return fmt.Errorf("summary: heap file has schema %s, want the summary schema", h.Schema())
+	}
+	for _, e := range db.entries {
+		fresh := int64(0)
+		if e.fresh {
+			fresh = 1
+		}
+		rid, err := h.Insert(dataset.Row{
+			dataset.String(strings.Join(e.attrs, "\x1f")),
+			dataset.String(e.fn),
+			dataset.Int(fresh),
+			dataset.String(string(encodeResult(e.result))),
+		})
+		if err != nil {
+			return err
+		}
+		key := entryKey(e.fn, e.attrs)
+		if err := tree.Put(key, int64(rid.Page)<<16|int64(rid.Slot)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads every record of h back into a fresh cache attached to the
+// same Management Database. Entries come back without maintenance state:
+// the first post-load update to an attribute invalidates its entries, and
+// the next read rebuilds — the safe lazy path.
+func Load(db *DB, h *storage.HeapFile) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !h.Schema().Equal(resultSchema()) {
+		return fmt.Errorf("summary: heap file has schema %s, want the summary schema", h.Schema())
+	}
+	var loadErr error
+	err := h.Scan(func(_ storage.RID, row dataset.Row) bool {
+		attrs := strings.Split(row[0].AsString(), "\x1f")
+		res, err := decodeResult([]byte(row[3].AsString()))
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		e := &entry{
+			fn:     row[1].AsString(),
+			attrs:  attrs,
+			result: res,
+			fresh:  row[2].AsInt() == 1,
+		}
+		db.insert(e)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return loadErr
+}
+
+// NewSummaryHeapFile creates a heap file with the summary row schema.
+func NewSummaryHeapFile(pool *storage.BufferPool) *storage.HeapFile {
+	return storage.NewHeapFile(pool, resultSchema())
+}

@@ -1,0 +1,182 @@
+package summary
+
+import (
+	"path/filepath"
+	"testing"
+
+	"statdb/internal/incr"
+	"statdb/internal/index"
+	"statdb/internal/rules"
+	"statdb/internal/stats"
+	"statdb/internal/storage"
+)
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	h, err := stats.NewHistogram([]float64{1, 2, 3, 4, 5}, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Result{
+		ScalarOf(29402),
+		ScalarOf(-1.5e-7),
+		VectorOf([]float64{1, 2.5, -3}),
+		VectorOf(nil),
+		HistogramOf(h),
+		TextOf("analysis stalled on AGE outliers"),
+		TextOf(""),
+	}
+	for i, r := range cases {
+		got, err := decodeResult(encodeResult(r))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Kind != r.Kind {
+			t.Fatalf("case %d: kind %v != %v", i, got.Kind, r.Kind)
+		}
+		if got.String() != r.String() {
+			t.Errorf("case %d: %q != %q", i, got.String(), r.String())
+		}
+	}
+	if _, err := decodeResult(nil); err == nil {
+		t.Error("empty encoding decoded")
+	}
+	if _, err := decodeResult([]byte{99}); err == nil {
+		t.Error("unknown kind decoded")
+	}
+	if _, err := decodeResult([]byte{byte(ScalarResult), 1, 2}); err == nil {
+		t.Error("truncated scalar decoded")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	mdb := rules.NewManagementDB()
+	db := NewDB(mdb)
+	c := newColumn(500, 41)
+	for _, fn := range []string{"mean", "min", "max", "median"} {
+		if _, err := db.Scalar(fn, "SALARY", c.source()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Register("note", []string{"SALARY"}, func() (Result, error) {
+		return TextOf("checked 1982-02-01"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Make one entry stale so freshness persists too.
+	db.OnUpdate("SALARY", []incr.Delta{incr.UpdateOf(c.xs[0], c.xs[0]+1)})
+	c.xs[0]++
+
+	dev := storage.NewMemDevice(storage.DefaultDiskCost())
+	pool := storage.NewBufferPool(dev, 16)
+	heap := NewSummaryHeapFile(pool)
+	tree, err := index.NewDiskTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(heap, tree); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewDB(mdb)
+	if err := Load(restored, heap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != db.Len() {
+		t.Fatalf("restored %d entries, want %d", restored.Len(), db.Len())
+	}
+	// Fresh entries answer without recomputation.
+	got, ok := restored.Lookup("mean", "SALARY")
+	want, _ := db.Lookup("mean", "SALARY")
+	if !ok || got.Scalar != want.Scalar {
+		t.Errorf("restored mean = %v, %v (want %v)", got, ok, want)
+	}
+	// The note was invalidated by the pre-save update (custom entries use
+	// the invalidate strategy), so Lookup refuses it — but its payload
+	// survived the round trip.
+	if _, ok := restored.Lookup("note", "SALARY"); ok {
+		t.Error("stale note served as fresh after restore")
+	}
+	foundNote := false
+	for _, row := range restored.Dump() {
+		if row.Function == "note" {
+			foundNote = true
+			if row.Fresh {
+				t.Error("note restored as fresh")
+			}
+			if row.Result != "checked 1982-02-01" {
+				t.Errorf("note payload = %q", row.Result)
+			}
+		}
+	}
+	if !foundNote {
+		t.Error("note entry lost in round trip")
+	}
+	// Freshness states survive entry by entry.
+	freshCount := 0
+	for _, row := range restored.Dump() {
+		if row.Fresh {
+			freshCount++
+		}
+	}
+	wantFresh := 0
+	for _, row := range db.Dump() {
+		if row.Fresh {
+			wantFresh++
+		}
+	}
+	if freshCount != wantFresh {
+		t.Errorf("fresh entries = %d, want %d", freshCount, wantFresh)
+	}
+	// The disk index locates entries by the clustered key.
+	_, found, err := tree.Get(entryKey("mean", []string{"SALARY"}))
+	if err != nil || !found {
+		t.Errorf("index lookup: %v, %v", found, err)
+	}
+}
+
+func TestSaveLoadAcrossFileDevice(t *testing.T) {
+	mdb := rules.NewManagementDB()
+	db := NewDB(mdb)
+	c := newColumn(100, 42)
+	if _, err := db.Scalar("mean", "X", c.source()); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "summary.pages")
+	dev, err := storage.OpenFileDevice(path, storage.DefaultDiskCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := storage.NewBufferPool(dev, 8)
+	heap := NewSummaryHeapFile(pool)
+	tree, err := index.NewDiskTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(heap, tree); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the heap file pages enumerate from a fresh scan of the
+	// device through a rebuilt HeapFile... heap files track their pages
+	// in memory, so reload goes through Load's scan over a file handle
+	// built on the same page run. For this test, reopen and re-scan via
+	// a new pool wrapping the same pages: page 0.. belong to heap/tree
+	// interleaved, so we reuse the saved tree root instead.
+	dev2, err := storage.OpenFileDevice(path, storage.DefaultDiskCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	tree2 := index.OpenDiskTree(storage.NewBufferPool(dev2, 8), tree.Root())
+	_, found, err := tree2.Get(entryKey("mean", []string{"X"}))
+	if err != nil || !found {
+		t.Errorf("reopened index lookup: %v, %v", found, err)
+	}
+}

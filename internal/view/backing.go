@@ -1,0 +1,188 @@
+package view
+
+import (
+	"fmt"
+
+	"statdb/internal/colstore"
+	"statdb/internal/dataset"
+	"statdb/internal/storage"
+)
+
+// Backing selects the storage structure a view's working data lives in.
+// The paper's Section 2.6 argument — transposed files for statistical
+// access, row files for informational access, with dynamic
+// reorganization between them (Section 2.7) — becomes operational here:
+// an attached store services the view's column and row reads through a
+// cost-accounted device, and view updates write through to it.
+type Backing uint8
+
+const (
+	// BackingMemory keeps the view purely in memory (the default).
+	BackingMemory Backing = iota
+	// BackingRow stores the view in a heap file of full records.
+	BackingRow
+	// BackingTransposed stores the view in per-column transposed files.
+	BackingTransposed
+)
+
+func (b Backing) String() string {
+	switch b {
+	case BackingRow:
+		return "row"
+	case BackingTransposed:
+		return "transposed"
+	default:
+		return "memory"
+	}
+}
+
+// store is the attached storage state.
+type store struct {
+	backing Backing
+	dev     *storage.MemDevice
+	heap    *storage.HeapFile
+	rids    []storage.RID
+	col     *colstore.File
+}
+
+// AttachStore materializes the view's current contents into a storage
+// structure on a fresh cost-accounted device. Subsequent Column and
+// RowAt calls are serviced (and charged) through it, and updates write
+// through. Attaching replaces any previous store.
+func (v *View) AttachStore(b Backing, cost storage.CostModel, poolFrames int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if b == BackingMemory {
+		v.store = nil
+		return nil
+	}
+	if poolFrames < 4 {
+		poolFrames = 4
+	}
+	dev := storage.NewMemDevice(cost)
+	pool := storage.NewBufferPool(dev, poolFrames)
+	st := &store{backing: b, dev: dev}
+	switch b {
+	case BackingRow:
+		heap := storage.NewHeapFile(pool, v.data.Schema())
+		rids, err := heap.Load(v.data)
+		if err != nil {
+			return fmt.Errorf("view %s: attach row store: %w", v.name, err)
+		}
+		st.heap, st.rids = heap, rids
+	case BackingTransposed:
+		cf, err := colstore.Load(pool, v.data, colstore.Options{})
+		if err != nil {
+			return fmt.Errorf("view %s: attach transposed store: %w", v.name, err)
+		}
+		st.col = cf
+	default:
+		return fmt.Errorf("view %s: unknown backing %d", v.name, b)
+	}
+	if err := pool.FlushAll(); err != nil {
+		return err
+	}
+	dev.ResetStats()
+	v.store = st
+	return nil
+}
+
+// Reorganize closes the Section 2.7 loop: it consults the observed
+// access pattern (Advice) and attaches the storage layout it favors —
+// "intelligent access methods that interpret reference patterns to the
+// view and dynamically reorganize the storage structures". It returns
+// the backing now in effect; if the view is already stored that way,
+// nothing is rebuilt.
+func (v *View) Reorganize(cost storage.CostModel, poolFrames int) (Backing, error) {
+	want := BackingRow
+	if v.Advice().Transpose {
+		want = BackingTransposed
+	}
+	if v.StoreBacking() == want {
+		return want, nil
+	}
+	if err := v.AttachStore(want, cost, poolFrames); err != nil {
+		return BackingMemory, err
+	}
+	return want, nil
+}
+
+// StoreBacking reports the attached backing (BackingMemory when none).
+func (v *View) StoreBacking() Backing {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.store == nil {
+		return BackingMemory
+	}
+	return v.store.backing
+}
+
+// StoreStats returns the attached device's accumulated I/O statistics.
+func (v *View) StoreStats() (storage.Stats, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.store == nil {
+		return storage.Stats{}, fmt.Errorf("view %s: no store attached", v.name)
+	}
+	return v.store.dev.Stats(), nil
+}
+
+// readStoreColumn services a column read through the store, charging its
+// device. Falls back to an error if the attribute is non-numeric.
+func (st *store) readColumn(data *dataset.Dataset, attr string) ([]float64, []bool, error) {
+	switch st.backing {
+	case BackingTransposed:
+		return st.col.NumericColumn(attr)
+	case BackingRow:
+		i := data.Schema().Index(attr)
+		if i < 0 {
+			return nil, nil, fmt.Errorf("view: no attribute %q", attr)
+		}
+		kind := data.Schema().At(i).Kind
+		if kind == dataset.KindString {
+			return nil, nil, fmt.Errorf("view: attribute %q is not numeric", attr)
+		}
+		xs := make([]float64, 0, data.Rows())
+		valid := make([]bool, 0, data.Rows())
+		err := st.heap.Scan(func(_ storage.RID, row dataset.Row) bool {
+			if row[i].IsNull() {
+				xs = append(xs, 0)
+				valid = append(valid, false)
+			} else {
+				xs = append(xs, row[i].AsFloat())
+				valid = append(valid, true)
+			}
+			return true
+		})
+		return xs, valid, err
+	}
+	return nil, nil, fmt.Errorf("view: memory backing has no store")
+}
+
+// readRow services a full-record read through the store.
+func (st *store) readRow(i int) (dataset.Row, error) {
+	switch st.backing {
+	case BackingTransposed:
+		return st.col.RowAt(i)
+	case BackingRow:
+		if i < 0 || i >= len(st.rids) {
+			return nil, fmt.Errorf("view: row %d out of store range", i)
+		}
+		return st.heap.Get(st.rids[i])
+	}
+	return nil, fmt.Errorf("view: memory backing has no store")
+}
+
+// writeCell mirrors one cell update into the store.
+func (st *store) writeCell(data *dataset.Dataset, row int, attr string, v dataset.Value) error {
+	switch st.backing {
+	case BackingTransposed:
+		return st.col.UpdateValue(attr, row, v)
+	case BackingRow:
+		if row < 0 || row >= len(st.rids) {
+			return fmt.Errorf("view: row %d out of store range", row)
+		}
+		return st.heap.Update(st.rids[row], data.RowAt(row))
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"statdb/internal/dataset"
+	"statdb/internal/relalg"
+	"statdb/internal/rules"
+	"statdb/internal/tape"
+)
+
+// Builder materializes a concrete view from a raw archive file by a
+// pipeline of relational operations (Section 2.3). Every step is recorded
+// textually so the Management Database can fingerprint the derivation and
+// reject wasteful re-materializations.
+type Builder struct {
+	archive *tape.Archive
+	mdb     *rules.ManagementDB
+	source  string
+	steps   []func(*dataset.Dataset) (*dataset.Dataset, error)
+	ops     []string
+	opts    Options
+}
+
+// NewBuilder starts a materialization from the named raw file.
+func NewBuilder(archive *tape.Archive, mdb *rules.ManagementDB, source string) *Builder {
+	return &Builder{archive: archive, mdb: mdb, source: source}
+}
+
+// WithOptions sets the view construction options.
+func (b *Builder) WithOptions(opts Options) *Builder {
+	b.opts = opts
+	return b
+}
+
+// Select keeps rows satisfying pred.
+func (b *Builder) Select(pred relalg.Predicate) *Builder {
+	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+		return relalg.Select(ds, pred)
+	})
+	b.ops = append(b.ops, "select "+pred.String())
+	return b
+}
+
+// Project keeps only the named attributes.
+func (b *Builder) Project(names ...string) *Builder {
+	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+		return relalg.Project(ds, names...)
+	})
+	b.ops = append(b.ops, "project "+strings.Join(names, ","))
+	return b
+}
+
+// Decode replaces a coded attribute with its label through its code table.
+func (b *Builder) Decode(attr string) *Builder {
+	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+		return relalg.Decode(ds, attr)
+	})
+	b.ops = append(b.ops, "decode "+attr)
+	return b
+}
+
+// GroupBy aggregates over the key attributes.
+func (b *Builder) GroupBy(keys []string, aggs []relalg.Agg) *Builder {
+	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+		return relalg.GroupBy(ds, keys, aggs)
+	})
+	desc := "group by " + strings.Join(keys, ",")
+	for _, a := range aggs {
+		desc += fmt.Sprintf(" %s(%s)", a.Func, a.Attr)
+	}
+	b.ops = append(b.ops, desc)
+	return b
+}
+
+// Sort orders the rows.
+func (b *Builder) Sort(keys ...relalg.SortKey) *Builder {
+	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+		return relalg.Sort(ds, keys...)
+	})
+	desc := "sort"
+	for _, k := range keys {
+		desc += " " + k.Attr
+		if k.Desc {
+			desc += " desc"
+		}
+	}
+	b.ops = append(b.ops, desc)
+	return b
+}
+
+// Ops returns the recorded derivation steps.
+func (b *Builder) Ops() []string { return append([]string(nil), b.ops...) }
+
+// Build reads the raw file from tape, applies the pipeline, and registers
+// the result as analyst's concrete view called name. The expensive tape
+// pass happens exactly once; afterwards the analyst works entirely
+// against the materialized copy.
+func (b *Builder) Build(name, analyst string) (*View, error) {
+	def := rules.ViewDef{Name: name, Analyst: analyst, Source: b.source, Ops: b.Ops()}
+	// Duplicate detection happens before the tape is touched, so a
+	// rejected re-materialization costs nothing.
+	ds, err := b.materialize(def)
+	if err != nil {
+		return nil, err
+	}
+	return New(ds, b.mdb, def, b.opts)
+}
+
+func (b *Builder) materialize(def rules.ViewDef) (*dataset.Dataset, error) {
+	// Probe for duplicates first using a dry registration: RegisterView
+	// both checks and records, so check manually via the fingerprint of
+	// existing registered views.
+	for _, existing := range b.mdb.Views() {
+		v, _ := b.mdb.View(existing)
+		if (v.Public || v.Analyst == def.Analyst) && v.Fingerprint() == def.Fingerprint() {
+			return nil, &rules.ErrDuplicateView{Existing: v.Name, Analyst: v.Analyst}
+		}
+	}
+	ds, err := b.archive.Materialize(b.source)
+	if err != nil {
+		return nil, err
+	}
+	for i, step := range b.steps {
+		ds, err = step(ds)
+		if err != nil {
+			return nil, fmt.Errorf("view: materialization step %d (%s): %w", i, b.ops[i], err)
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is one operation of a simulated analysis session: apply Fn to Attr.
+type Op struct {
+	Fn   string
+	Attr string
+}
+
+// SessionSpec configures a simulated exploratory-analysis session. The
+// paper's premise (Section 3.1) is that the same handful of
+// (function, attribute) pairs recur throughout a months-long analysis;
+// RepeatBias controls how strongly the stream favors already-issued
+// operations.
+type SessionSpec struct {
+	// Attrs are the attribute names the analyst works with.
+	Attrs []string
+	// Fns are the functions in play (defaults to the built-in scalar set).
+	Fns []string
+	// Ops is the session length.
+	Ops int
+	// RepeatBias in [0,1): probability that the next operation repeats a
+	// previous one instead of drawing a fresh pair.
+	RepeatBias float64
+	// UpdateEvery inserts a view update every k operations (0 = never),
+	// for the maintenance experiments.
+	UpdateEvery int
+	Seed        int64
+}
+
+// DefaultFns is the function mix of a typical exploratory session.
+var DefaultFns = []string{"min", "max", "mean", "sd", "median", "count", "q1", "q3"}
+
+// Trace generates the operation stream. Update points are returned as
+// ops with Fn == "update".
+func Trace(spec SessionSpec) ([]Op, error) {
+	if len(spec.Attrs) == 0 {
+		return nil, fmt.Errorf("workload: session needs attributes")
+	}
+	if spec.Ops < 1 {
+		return nil, fmt.Errorf("workload: session needs ops >= 1, got %d", spec.Ops)
+	}
+	if spec.RepeatBias < 0 || spec.RepeatBias >= 1 {
+		return nil, fmt.Errorf("workload: repeat bias %g out of [0,1)", spec.RepeatBias)
+	}
+	fns := spec.Fns
+	if len(fns) == 0 {
+		fns = DefaultFns
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var trace []Op
+	var issued []Op
+	for i := 0; i < spec.Ops; i++ {
+		if spec.UpdateEvery > 0 && i > 0 && i%spec.UpdateEvery == 0 {
+			trace = append(trace, Op{Fn: "update", Attr: spec.Attrs[rng.Intn(len(spec.Attrs))]})
+			continue
+		}
+		var op Op
+		if len(issued) > 0 && rng.Float64() < spec.RepeatBias {
+			op = issued[rng.Intn(len(issued))]
+		} else {
+			op = Op{Fn: fns[rng.Intn(len(fns))], Attr: spec.Attrs[rng.Intn(len(spec.Attrs))]}
+			issued = append(issued, op)
+		}
+		trace = append(trace, op)
+	}
+	return trace, nil
+}
+
+// RepeatRate reports the fraction of non-update operations in trace that
+// repeat an earlier (fn, attr) pair — the session's cache-hit ceiling.
+func RepeatRate(trace []Op) float64 {
+	seen := map[Op]bool{}
+	repeats, total := 0, 0
+	for _, op := range trace {
+		if op.Fn == "update" {
+			continue
+		}
+		total++
+		if seen[op] {
+			repeats++
+		}
+		seen[op] = true
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(repeats) / float64(total)
+}
