@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race check bench experiments fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full verification: vet plus the whole suite under the race detector —
+# the parallel execution engine (internal/exec and everything routed
+# through it) must stay clean here.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+check: build race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerates every experiment table (deterministic; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments | tee experiments_output.txt
+
+fmt:
+	gofmt -l -w .

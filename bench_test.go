@@ -15,6 +15,7 @@ import (
 	"statdb/internal/bench"
 	"statdb/internal/colstore"
 	"statdb/internal/dataset"
+	"statdb/internal/exec"
 	"statdb/internal/incr"
 	"statdb/internal/medwin"
 	"statdb/internal/relalg"
@@ -55,6 +56,7 @@ func BenchmarkE9DerivedRules(b *testing.B)      { benchExperiment(b, bench.E9Der
 func BenchmarkE10Abstract(b *testing.B)         { benchExperiment(b, bench.E10Abstract) }
 func BenchmarkE11DatabaseMachine(b *testing.B)  { benchExperiment(b, bench.E11DatabaseMachine) }
 func BenchmarkE12ViewBacking(b *testing.B)      { benchExperiment(b, bench.E12ViewBacking) }
+func BenchmarkE13ParallelEngine(b *testing.B)   { benchExperiment(b, bench.E13ParallelEngine) }
 func BenchmarkAblationClustering(b *testing.B)  { benchExperiment(b, bench.AblationClustering) }
 func BenchmarkAblationWindowWidth(b *testing.B) { benchExperiment(b, bench.AblationWindowWidth) }
 func BenchmarkAblationAutoReorg(b *testing.B)   { benchExperiment(b, bench.AblationAutoReorg) }
@@ -159,6 +161,30 @@ func BenchmarkMedianFullRecompute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		xs[i%len(xs)]++
 		if _, err := stats.Median(xs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Whole-column Summarize, serial vs through the execution pool (E13
+// mechanism; on a single-CPU machine the pool's win shows up in the
+// deterministic tick tables rather than wall clock).
+func BenchmarkSummarizeSerial(b *testing.B) {
+	xs := randColumn(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Summarize(xs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummarizeParallel(b *testing.B) {
+	xs := randColumn(100000)
+	p := exec.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.SummarizeChunks(p, xs, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

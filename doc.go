@@ -13,6 +13,16 @@
 // compression, a B+-tree index, relational operators, and a statistical
 // function library.
 //
+// A shared chunked-execution engine (internal/exec) runs the
+// column-shaped work — whole-column statistics, relational select and
+// group-by, view materialization and Summary-Database recomputation —
+// as fixed-size row chunks folded by a worker pool and merged in chunk
+// order. Chunk boundaries depend only on the column length, so
+// order-insensitive results are bit-identical to the serial operators
+// at any worker count and floating-point moments are deterministic for
+// a given chunk size; core.DBMS.SetParallelism (default GOMAXPROCS,
+// 1 = serial) sizes the pool.
+//
 // See DESIGN.md for the system inventory and per-experiment index,
 // EXPERIMENTS.md for the measured results, cmd/experiments for the
 // reproduction suite, cmd/statdb for an interactive shell, and

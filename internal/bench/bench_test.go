@@ -271,6 +271,34 @@ func TestE12ShapeBackingAsymmetry(t *testing.T) {
 	}
 }
 
+func TestE13ShapeParallelSpeedup(t *testing.T) {
+	tab, err := E13ParallelEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBig := false
+	for r := range tab.Rows {
+		if tab.Rows[r][5] != "yes" {
+			t.Errorf("row %d: parallel answer diverged from serial", r)
+		}
+		n := int(cell(t, tab, r, 0))
+		speedup := cell(t, tab, r, 4)
+		// Below one chunk the engine cannot win: spawn+merge overhead only.
+		if n == 512 && speedup >= 1 {
+			t.Errorf("row %d: 512-row column sped up %gx; should stay serial", r, speedup)
+		}
+		if n == 102400 && int(cell(t, tab, r, 1)) == 4 {
+			sawBig = true
+			if speedup < 2 {
+				t.Errorf("row %d: 4-worker speedup on 102400 rows only %gx, want >= 2x", r, speedup)
+			}
+		}
+	}
+	if !sawBig {
+		t.Error("no 102400-row / 4-worker grid point")
+	}
+}
+
 func TestA1ShapeClusteredScan(t *testing.T) {
 	tab, err := AblationClustering()
 	if err != nil {

@@ -90,6 +90,7 @@ func All() []Experiment {
 		{"E10", E10Abstract},
 		{"E11", E11DatabaseMachine},
 		{"E12", E12ViewBacking},
+		{"E13", E13ParallelEngine},
 		{"A1", AblationClustering},
 		{"A2", AblationWindowWidth},
 		{"A3", AblationAutoReorg},

@@ -391,25 +391,24 @@ func (f *File) NumericColumn(name string) ([]float64, []bool, error) {
 	if m.kind == dataset.KindString {
 		return nil, nil, fmt.Errorf("colstore: column %q is string, not numeric", name)
 	}
-	out := make([]float64, 0, f.rows)
-	valid := make([]bool, 0, f.rows)
+	out := make([]float64, f.rows)
+	valid := make([]bool, f.rows)
 	for p := range m.pages {
 		vals, nulls, err := f.pageValues(m, p)
 		if err != nil {
 			return nil, nil, err
 		}
+		base := m.rowStart[p]
 		for i := range vals {
 			if nulls[i] {
-				out = append(out, 0)
-				valid = append(valid, false)
 				continue
 			}
 			if m.kind == dataset.KindFloat {
-				out = append(out, math.Float64frombits(uint64(vals[i])))
+				out[base+i] = math.Float64frombits(uint64(vals[i]))
 			} else {
-				out = append(out, float64(vals[i]))
+				out[base+i] = float64(vals[i])
 			}
-			valid = append(valid, true)
+			valid[base+i] = true
 		}
 	}
 	return out, valid, nil
@@ -488,18 +487,24 @@ func (f *File) Materialize() (*dataset.Dataset, error) {
 	out := dataset.New(f.schema)
 	cols := make([][]dataset.Value, len(f.cols))
 	for c, m := range f.cols {
-		cols[c] = make([]dataset.Value, 0, f.rows)
+		cols[c] = make([]dataset.Value, f.rows)
+		filled := 0
 		for p := range m.pages {
 			vals, nulls, err := f.pageValues(m, p)
 			if err != nil {
 				return nil, err
 			}
-			for i := range vals {
-				cols[c] = append(cols[c], m.toValue(vals[i], nulls[i]))
+			base := m.rowStart[p]
+			if base+len(vals) > f.rows {
+				return nil, fmt.Errorf("colstore: column %q overflows %d rows", m.name, f.rows)
 			}
+			for i := range vals {
+				cols[c][base+i] = m.toValue(vals[i], nulls[i])
+			}
+			filled += len(vals)
 		}
-		if len(cols[c]) != f.rows {
-			return nil, fmt.Errorf("colstore: column %q has %d values, want %d", m.name, len(cols[c]), f.rows)
+		if filled != f.rows {
+			return nil, fmt.Errorf("colstore: column %q has %d values, want %d", m.name, filled, f.rows)
 		}
 	}
 	for i := 0; i < f.rows; i++ {

@@ -1,0 +1,89 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+
+	"statdb/internal/dataset"
+)
+
+// Chunk is one page-aligned batch of a column scan: the decoded payloads
+// and null flags of a single page, with the first logical row they cover.
+// This is the vectorized access path the execution engine consumes —
+// ScanColumn's per-value closure and Value boxing removed, one callback
+// per page instead of per row. Slices are freshly decoded per page and
+// owned by the callback.
+type Chunk struct {
+	Start int // first logical row of the chunk
+	Vals  []int64
+	Nulls []bool
+}
+
+// ScanChunks streams the named column page by page in row order. Unlike
+// ScanColumn it never converts payloads to dataset.Value: int columns
+// carry raw int64s, float columns carry Float64bits, string columns carry
+// dictionary ids (resolve via Dict). fn returning an error stops the scan.
+func (f *File) ScanChunks(name string, fn func(Chunk) error) error {
+	m, err := f.meta(name)
+	if err != nil {
+		return err
+	}
+	for p := range m.pages {
+		vals, nulls, err := f.pageValues(m, p)
+		if err != nil {
+			return err
+		}
+		if len(vals) == 0 {
+			continue // empty-column sentinel page
+		}
+		if err := fn(Chunk{Start: m.rowStart[p], Vals: vals, Nulls: nulls}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanNumericChunks streams page-aligned float64 batches of a numeric
+// column with validity masks — the bulk form of NumericColumn for
+// chunked kernels that fold without materializing the whole column.
+func (f *File) ScanNumericChunks(name string, fn func(start int, xs []float64, valid []bool) error) error {
+	m, err := f.meta(name)
+	if err != nil {
+		return err
+	}
+	if m.kind == dataset.KindString {
+		return fmt.Errorf("colstore: column %q is string, not numeric", name)
+	}
+	return f.ScanChunks(name, func(c Chunk) error {
+		xs := make([]float64, len(c.Vals))
+		valid := make([]bool, len(c.Vals))
+		for i, v := range c.Vals {
+			if c.Nulls[i] {
+				continue
+			}
+			if m.kind == dataset.KindFloat {
+				xs[i] = math.Float64frombits(uint64(v))
+			} else {
+				xs[i] = float64(v)
+			}
+			valid[i] = true
+		}
+		return fn(c.Start, xs, valid)
+	})
+}
+
+// Dict returns the label for a string column's dictionary id, for
+// callers decoding ScanChunks payloads of string columns.
+func (f *File) Dict(name string, id int64) (string, error) {
+	m, err := f.meta(name)
+	if err != nil {
+		return "", err
+	}
+	if m.kind != dataset.KindString {
+		return "", fmt.Errorf("colstore: column %q is %s, not string", name, m.kind)
+	}
+	if id < 0 || id >= int64(len(m.dict)) {
+		return "", fmt.Errorf("colstore: column %q has no dictionary id %d", name, id)
+	}
+	return m.dict[id], nil
+}

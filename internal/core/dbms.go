@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -25,6 +26,9 @@ type DBMS struct {
 	metaG    *meta.Graph
 	views    map[string]*view.View
 	analysts map[string]*Analyst
+	// parallelism sizes the execution pools of views built through this
+	// DBMS: materialization pipelines and Summary Database recomputes.
+	parallelism int
 }
 
 // New creates a DBMS over an empty tape archive with default cost models.
@@ -35,12 +39,33 @@ func New() *DBMS {
 // NewWithArchive creates a DBMS over an existing raw archive.
 func NewWithArchive(a *tape.Archive) *DBMS {
 	return &DBMS{
-		archive:  a,
-		mdb:      rules.NewManagementDB(),
-		metaG:    meta.NewGraph(),
-		views:    make(map[string]*view.View),
-		analysts: make(map[string]*Analyst),
+		archive:     a,
+		mdb:         rules.NewManagementDB(),
+		metaG:       meta.NewGraph(),
+		views:       make(map[string]*view.View),
+		analysts:    make(map[string]*Analyst),
+		parallelism: runtime.GOMAXPROCS(0),
 	}
+}
+
+// SetParallelism sets the worker count views built from here on use for
+// column scans, aggregates and materialization. 1 forces the serial
+// engine (today's exact behavior); n <= 0 restores the GOMAXPROCS
+// default.
+func (d *DBMS) SetParallelism(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	d.parallelism = n
+}
+
+// Parallelism returns the current engine width.
+func (d *DBMS) Parallelism() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.parallelism
 }
 
 // Archive exposes the raw database.
@@ -120,8 +145,12 @@ func (m *MaterializeBuilder) Build(name string) (*view.View, error) {
 	return m.BuildWithOptions(name, view.Options{})
 }
 
-// BuildWithOptions materializes with explicit view options.
+// BuildWithOptions materializes with explicit view options. An unset
+// Parallelism inherits the DBMS-wide engine width.
 func (m *MaterializeBuilder) BuildWithOptions(name string, opts view.Options) (*view.View, error) {
+	if opts.Parallelism == 0 {
+		opts.Parallelism = m.analyst.dbms.Parallelism()
+	}
 	v, err := m.builder.WithOptions(opts).Build(name, m.analyst.name)
 	if err != nil {
 		return nil, err
@@ -136,7 +165,7 @@ func (m *MaterializeBuilder) BuildWithOptions(name string, opts view.Options) (*
 func (a *Analyst) AdoptDataset(name string, ds *dataset.Dataset, source string, ops []string) (*view.View, error) {
 	v, err := view.New(ds, a.dbms.mdb, rules.ViewDef{
 		Name: name, Analyst: a.name, Source: source, Ops: ops,
-	}, view.Options{})
+	}, view.Options{Parallelism: a.dbms.Parallelism()})
 	if err != nil {
 		return nil, err
 	}

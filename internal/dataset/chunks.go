@@ -1,0 +1,51 @@
+package dataset
+
+import "fmt"
+
+// NumericChunks streams column col widened to float64 in fixed-size
+// batches — the in-memory counterpart of colstore's page-aligned
+// ScanNumericChunks, feeding the chunked execution engine without
+// materializing a widened copy of int columns. Chunk boundaries depend
+// only on (rows, chunk), never on the consumer, so chunk-merged
+// aggregates are deterministic. chunk <= 0 means the whole column in one
+// batch. Float-column slices alias the data set; treat them as
+// read-only.
+func (d *Dataset) NumericChunks(col, chunk int, fn func(start int, xs []float64, valid []bool) error) error {
+	c := d.cols[col]
+	if c.kind == KindString {
+		return fmt.Errorf("dataset: attribute %q is %s, not numeric", d.schema.At(col).Name, c.kind)
+	}
+	n := c.len()
+	if chunk <= 0 {
+		chunk = n
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if c.kind == KindFloat {
+			if err := fn(lo, c.flts[lo:hi], c.valid[lo:hi]); err != nil {
+				return err
+			}
+			continue
+		}
+		xs := make([]float64, hi-lo)
+		for i, v := range c.ints[lo:hi] {
+			xs[i] = float64(v)
+		}
+		if err := fn(lo, xs, c.valid[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumericChunksByName is NumericChunks addressed by attribute name.
+func (d *Dataset) NumericChunksByName(name string, chunk int, fn func(start int, xs []float64, valid []bool) error) error {
+	i := d.schema.Index(name)
+	if i < 0 {
+		return fmt.Errorf("dataset: no attribute %q", name)
+	}
+	return d.NumericChunks(i, chunk, fn)
+}

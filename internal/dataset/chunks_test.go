@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+)
+
+func chunkFixture(t *testing.T, n int) *Dataset {
+	t.Helper()
+	sch := MustSchema(
+		Attribute{Name: "I", Kind: KindInt},
+		Attribute{Name: "F", Kind: KindFloat},
+		Attribute{Name: "S", Kind: KindString},
+	)
+	ds := New(sch)
+	for i := 0; i < n; i++ {
+		row := Row{Int(int64(i)), Float(float64(i) / 8), String("s")}
+		if i%7 == 0 {
+			row[0], row[1] = Null, Null
+		}
+		if err := ds.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// TestNumericChunksStitchToColumn: the chunked stream must reproduce
+// NumericColumn exactly for both int and float columns, and chunk
+// boundaries must be the fixed (rows, chunk) grid.
+func TestNumericChunksStitchToColumn(t *testing.T) {
+	const n, chunk = 1003, 128
+	ds := chunkFixture(t, n)
+	for col := 0; col < 2; col++ {
+		want, wantValid, err := ds.NumericColumn(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var starts []int
+		got := make([]float64, n)
+		gotValid := make([]bool, n)
+		err = ds.NumericChunks(col, chunk, func(start int, xs []float64, valid []bool) error {
+			starts = append(starts, start)
+			copy(got[start:], xs)
+			copy(gotValid[start:], valid)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] || gotValid[i] != wantValid[i] {
+				t.Fatalf("col %d row %d: chunked (%g,%v) != bulk (%g,%v)", col, i, got[i], gotValid[i], want[i], wantValid[i])
+			}
+		}
+		wantStarts := (n + chunk - 1) / chunk
+		if len(starts) != wantStarts {
+			t.Fatalf("col %d: %d chunks, want %d", col, len(starts), wantStarts)
+		}
+		for i, s := range starts {
+			if s != i*chunk {
+				t.Fatalf("col %d: chunk %d starts at %d, want %d", col, i, s, i*chunk)
+			}
+		}
+	}
+}
+
+func TestNumericChunksWholeColumnDefault(t *testing.T) {
+	ds := chunkFixture(t, 50)
+	calls := 0
+	err := ds.NumericChunks(0, 0, func(start int, xs []float64, valid []bool) error {
+		calls++
+		if start != 0 || len(xs) != 50 {
+			t.Fatalf("chunk (start=%d len=%d), want whole column", start, len(xs))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("%d chunks with chunk<=0, want 1", calls)
+	}
+}
+
+func TestNumericChunksErrors(t *testing.T) {
+	ds := chunkFixture(t, 10)
+	if err := ds.NumericChunks(2, 4, func(int, []float64, []bool) error { return nil }); err == nil {
+		t.Error("string column should error")
+	}
+	if err := ds.NumericChunksByName("NOPE", 4, func(int, []float64, []bool) error { return nil }); err == nil {
+		t.Error("missing attribute should error")
+	}
+	want := fmt.Errorf("stop")
+	err := ds.NumericChunksByName("I", 4, func(start int, _ []float64, _ []bool) error {
+		if start > 0 {
+			return want
+		}
+		return nil
+	})
+	if err != want {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+}

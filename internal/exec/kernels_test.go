@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"statdb/internal/incr"
+)
+
+// testColumn builds a deterministic column with ~5% missing values.
+func testColumn(n int, seed int64) ([]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	valid := make([]bool, n)
+	for i := range xs {
+		xs[i] = math.Floor(rng.NormFloat64()*1000) / 4
+		valid[i] = rng.Intn(20) != 0
+	}
+	return xs, valid
+}
+
+func approx(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*scale
+}
+
+// TestMomentsMatchIncr checks the chunk-merged moments against the
+// finite-differencing maintainers of internal/incr rebuilt over the same
+// column — the two forms of the same sufficient-statistics algebra.
+func TestMomentsMatchIncr(t *testing.T) {
+	xs, valid := testColumn(25013, 7)
+	m := ColumnMoments(New(4), xs, valid, 512)
+
+	count := incr.NewCount(xs, valid)
+	if c, _ := count.Value(); int64(c) != m.N {
+		t.Errorf("N = %d, incr count = %g", m.N, c)
+	}
+	sum := incr.NewSum(xs, valid)
+	if s, _ := sum.Value(); !approx(s, m.Sum, 1e-12) {
+		t.Errorf("Sum = %g, incr sum = %g", m.Sum, s)
+	}
+	mean := incr.NewMean(xs, valid)
+	if v, _ := mean.Value(); !approx(v, m.Mean, 1e-12) {
+		t.Errorf("Mean = %g, incr mean = %g", m.Mean, v)
+	}
+	vr := incr.NewVariance(xs, valid)
+	got, err := m.Variance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := vr.Value(); !approx(v, got, 1e-10) {
+		t.Errorf("Variance = %g, incr variance = %g", got, v)
+	}
+	mn := incr.NewMin(xs, valid)
+	mx := incr.NewMax(xs, valid)
+	lo, hi, err := m.Extremes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mn.Value(); v != lo {
+		t.Errorf("Min = %g, incr min = %g (must be bit-identical)", lo, v)
+	}
+	if v, _ := mx.Value(); v != hi {
+		t.Errorf("Max = %g, incr max = %g (must be bit-identical)", hi, v)
+	}
+}
+
+// TestMomentsDeterministicAcrossWorkerCounts: fixed chunks + ordered
+// merge mean the result is a function of the data and chunk size only.
+func TestMomentsDeterministicAcrossWorkerCounts(t *testing.T) {
+	xs, valid := testColumn(40009, 11)
+	base := ColumnMoments(New(2), xs, valid, 1024)
+	for _, workers := range []int{3, 4, 8} {
+		m := ColumnMoments(New(workers), xs, valid, 1024)
+		if m != base {
+			t.Fatalf("workers=%d moments %+v != workers=2 %+v", workers, m, base)
+		}
+	}
+	// Repeat runs are bit-identical too.
+	again := ColumnMoments(New(4), xs, valid, 1024)
+	if again != base {
+		t.Fatal("repeat run differs")
+	}
+}
+
+func TestMergeMomentsEmptySides(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	a := FoldMoments(xs, nil)
+	empty := FoldMoments(nil, nil)
+	empty.Missing = 2
+	if got := MergeMoments(empty, a); got.N != 3 || got.Missing != 2 || got.Min != 1 || got.Max != 3 {
+		t.Errorf("merge(empty, a) = %+v", got)
+	}
+	if got := MergeMoments(a, empty); got.N != 3 || got.Missing != 2 {
+		t.Errorf("merge(a, empty) = %+v", got)
+	}
+	both := MergeMoments(FoldMoments(nil, nil), FoldMoments(nil, nil))
+	if _, err := both.MeanValue(); err == nil {
+		t.Error("mean of empty merge should error")
+	}
+	if _, _, err := both.Extremes(); err == nil {
+		t.Error("extremes of empty merge should error")
+	}
+}
+
+// TestFreqParallelBitExact: frequency tables are order-insensitive, so
+// the parallel kernel must match a serial tabulation exactly.
+func TestFreqParallelBitExact(t *testing.T) {
+	xs, valid := testColumn(30011, 3)
+	serial := FoldFreq(xs, valid)
+	par := ColumnFreq(New(4), xs, valid, 777)
+	if len(serial) != len(par) {
+		t.Fatalf("distinct %d != %d", len(par), len(serial))
+	}
+	for v, c := range serial {
+		if par[v] != c {
+			t.Errorf("value %g: parallel %d != serial %d", v, par[v], c)
+		}
+	}
+	sv, sc := serial.Sorted()
+	pv, pc := par.Sorted()
+	for i := range sv {
+		if sv[i] != pv[i] || sc[i] != pc[i] {
+			t.Fatalf("sorted mismatch at %d", i)
+		}
+	}
+}
+
+func TestHistParallelBitExact(t *testing.T) {
+	xs, valid := testColumn(20021, 5)
+	m := FoldMoments(xs, valid)
+	edges := make([]float64, 9)
+	width := (m.Max - m.Min) / 8
+	for i := range edges {
+		edges[i] = m.Min + width*float64(i)
+	}
+	edges[8] = m.Max
+	serial := FoldHist(xs, valid, edges)
+	par := ColumnHist(New(4), xs, valid, edges, 333)
+	var total int64
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Errorf("bin %d: parallel %d != serial %d", i, par[i], serial[i])
+		}
+		total += par[i]
+	}
+	if total != m.N {
+		t.Errorf("binned %d of %d valid observations", total, m.N)
+	}
+}
+
+func TestHistBinEdgeRules(t *testing.T) {
+	edges := []float64{0, 1, 2, 3}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-0.1, -1}, {0, 0}, {0.5, 0}, {1, 1}, {2.9, 2}, {3, 2}, {3.1, -1},
+	}
+	for _, c := range cases {
+		if got := histBin(edges, c.x); got != c.want {
+			t.Errorf("histBin(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}

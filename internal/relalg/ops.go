@@ -205,23 +205,24 @@ type aggState struct {
 	min, max   dataset.Value
 }
 
-// GroupBy partitions ds on the key attributes and computes the aggregates
-// for each partition. Rows with null key values form their own groups;
-// null aggregate inputs are skipped (missing-value semantics). Output is
-// ordered by key.
-func GroupBy(ds *dataset.Dataset, keys []string, aggs []Agg) (*dataset.Dataset, error) {
+// aggCol is one aggregate column resolved against the input schema.
+type aggCol struct {
+	agg       Agg
+	attrIdx   int
+	weightIdx int
+	kind      dataset.Kind
+}
+
+// groupPlan validates keys and aggregates against ds and returns the
+// resolved key indices, aggregate columns, and output schema — shared
+// by the serial GroupBy and the chunk-parallel GroupByWith.
+func groupPlan(ds *dataset.Dataset, keys []string, aggs []Agg) ([]int, []aggCol, *dataset.Schema, error) {
 	keyIdx := make([]int, len(keys))
 	for i, k := range keys {
 		keyIdx[i] = ds.Schema().Index(k)
 		if keyIdx[i] < 0 {
-			return nil, fmt.Errorf("relalg: group by: no attribute %q", k)
+			return nil, nil, nil, fmt.Errorf("relalg: group by: no attribute %q", k)
 		}
-	}
-	type aggCol struct {
-		agg       Agg
-		attrIdx   int
-		weightIdx int
-		kind      dataset.Kind
 	}
 	cols := make([]aggCol, len(aggs))
 	for i, a := range aggs {
@@ -229,20 +230,20 @@ func GroupBy(ds *dataset.Dataset, keys []string, aggs []Agg) (*dataset.Dataset, 
 		if a.Func != AggCount {
 			c.attrIdx = ds.Schema().Index(a.Attr)
 			if c.attrIdx < 0 {
-				return nil, fmt.Errorf("relalg: group by: aggregate over missing attribute %q", a.Attr)
+				return nil, nil, nil, fmt.Errorf("relalg: group by: aggregate over missing attribute %q", a.Attr)
 			}
 			c.kind = ds.Schema().At(c.attrIdx).Kind
 			if c.kind == dataset.KindString && a.Func != AggMin && a.Func != AggMax {
-				return nil, fmt.Errorf("relalg: group by: %s over string attribute %q", a.Func, a.Attr)
+				return nil, nil, nil, fmt.Errorf("relalg: group by: %s over string attribute %q", a.Func, a.Attr)
 			}
 		}
 		if a.Func == AggWMean {
 			if a.Weight == "" {
-				return nil, fmt.Errorf("relalg: group by: wmean of %q needs a weight attribute", a.Attr)
+				return nil, nil, nil, fmt.Errorf("relalg: group by: wmean of %q needs a weight attribute", a.Attr)
 			}
 			c.weightIdx = ds.Schema().Index(a.Weight)
 			if c.weightIdx < 0 {
-				return nil, fmt.Errorf("relalg: group by: no weight attribute %q", a.Weight)
+				return nil, nil, nil, fmt.Errorf("relalg: group by: no weight attribute %q", a.Weight)
 			}
 		}
 		cols[i] = c
@@ -269,12 +270,26 @@ func GroupBy(ds *dataset.Dataset, keys []string, aggs []Agg) (*dataset.Dataset, 
 	}
 	sch, err := dataset.NewSchema(attrs...)
 	if err != nil {
-		return nil, fmt.Errorf("relalg: group by: %w", err)
+		return nil, nil, nil, fmt.Errorf("relalg: group by: %w", err)
 	}
+	return keyIdx, cols, sch, nil
+}
 
-	groups := make(map[string][]*aggState)
-	groupKeys := make(map[string]dataset.Row)
-	for r := 0; r < ds.Rows(); r++ {
+// groupPartition is the per-chunk partial state of a grouped
+// aggregation: one aggState per aggregate per group, plus the key row
+// of each group.
+type groupPartition struct {
+	groups    map[string][]*aggState
+	groupKeys map[string]dataset.Row
+}
+
+// foldGroups aggregates rows [lo, hi) of ds into a fresh partition.
+func foldGroups(ds *dataset.Dataset, keyIdx []int, cols []aggCol, lo, hi int) groupPartition {
+	part := groupPartition{
+		groups:    make(map[string][]*aggState),
+		groupKeys: make(map[string]dataset.Row),
+	}
+	for r := lo; r < hi; r++ {
 		var kb strings.Builder
 		keyVals := make(dataset.Row, len(keyIdx))
 		for i, ki := range keyIdx {
@@ -284,14 +299,14 @@ func GroupBy(ds *dataset.Dataset, keys []string, aggs []Agg) (*dataset.Dataset, 
 			kb.WriteByte(0)
 		}
 		gk := kb.String()
-		states, ok := groups[gk]
+		states, ok := part.groups[gk]
 		if !ok {
 			states = make([]*aggState, len(cols))
 			for i := range states {
 				states[i] = &aggState{}
 			}
-			groups[gk] = states
-			groupKeys[gk] = keyVals
+			part.groups[gk] = states
+			part.groupKeys[gk] = keyVals
 		}
 		for i, c := range cols {
 			st := states[i]
@@ -326,9 +341,13 @@ func GroupBy(ds *dataset.Dataset, keys []string, aggs []Agg) (*dataset.Dataset, 
 			}
 		}
 	}
+	return part
+}
 
-	ordered := make([]string, 0, len(groups))
-	for gk := range groups {
+// emitGroups renders a partition as the ordered output data set.
+func emitGroups(sch *dataset.Schema, cols []aggCol, part groupPartition) (*dataset.Dataset, error) {
+	ordered := make([]string, 0, len(part.groups))
+	for gk := range part.groups {
 		ordered = append(ordered, gk)
 	}
 	sort.Strings(ordered)
@@ -336,9 +355,9 @@ func GroupBy(ds *dataset.Dataset, keys []string, aggs []Agg) (*dataset.Dataset, 
 	out := dataset.New(sch)
 	for _, gk := range ordered {
 		row := make(dataset.Row, 0, sch.Len())
-		row = append(row, groupKeys[gk]...)
+		row = append(row, part.groupKeys[gk]...)
 		for i, c := range cols {
-			st := groups[gk][i]
+			st := part.groups[gk][i]
 			switch c.agg.Func {
 			case AggCount:
 				row = append(row, dataset.Int(st.n))
@@ -367,6 +386,18 @@ func GroupBy(ds *dataset.Dataset, keys []string, aggs []Agg) (*dataset.Dataset, 
 		}
 	}
 	return out, nil
+}
+
+// GroupBy partitions ds on the key attributes and computes the aggregates
+// for each partition. Rows with null key values form their own groups;
+// null aggregate inputs are skipped (missing-value semantics). Output is
+// ordered by key.
+func GroupBy(ds *dataset.Dataset, keys []string, aggs []Agg) (*dataset.Dataset, error) {
+	keyIdx, cols, sch, err := groupPlan(ds, keys, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return emitGroups(sch, cols, foldGroups(ds, keyIdx, cols, 0, ds.Rows()))
 }
 
 // Union appends the rows of b to those of a. Schemas must match in

@@ -1,0 +1,157 @@
+package relalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"statdb/internal/dataset"
+	"statdb/internal/exec"
+)
+
+// groupedFixture builds a deterministic data set with a few group keys,
+// numeric measures (some missing), and a weight column.
+func groupedFixture(t testing.TB, n int) *dataset.Dataset {
+	t.Helper()
+	sch := dataset.MustSchema(
+		dataset.Attribute{Name: "REGION", Kind: dataset.KindString, Category: true},
+		dataset.Attribute{Name: "GROUP", Kind: dataset.KindInt, Category: true},
+		dataset.Attribute{Name: "VALUE", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "WEIGHT", Kind: dataset.KindFloat},
+	)
+	ds := dataset.New(sch)
+	regions := []string{"N", "S", "E", "W"}
+	rng := rand.New(rand.NewSource(12345))
+	for i := 0; i < n; i++ {
+		row := dataset.Row{
+			dataset.String(regions[rng.Intn(len(regions))]),
+			dataset.Int(int64(rng.Intn(5))),
+			dataset.Float(math.Floor(rng.NormFloat64()*100) / 4),
+			dataset.Float(1 + float64(rng.Intn(9))),
+		}
+		if rng.Intn(25) == 0 {
+			row[2] = dataset.Null
+		}
+		if rng.Intn(40) == 0 {
+			row[1] = dataset.Null // null keys form their own group
+		}
+		if err := ds.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func sameDataset(t *testing.T, label string, got, want *dataset.Dataset, floatTol float64) {
+	t.Helper()
+	if !got.Schema().Equal(want.Schema()) {
+		t.Fatalf("%s: schema [%s] != [%s]", label, got.Schema(), want.Schema())
+	}
+	if got.Rows() != want.Rows() {
+		t.Fatalf("%s: %d rows != %d", label, got.Rows(), want.Rows())
+	}
+	for r := 0; r < want.Rows(); r++ {
+		for c := 0; c < want.Schema().Len(); c++ {
+			g, w := got.Cell(r, c), want.Cell(r, c)
+			if g.Equal(w) {
+				continue
+			}
+			if floatTol > 0 && !g.IsNull() && !w.IsNull() && want.Schema().At(c).Kind == dataset.KindFloat {
+				a, b := g.AsFloat(), w.AsFloat()
+				scale := math.Max(math.Abs(a), math.Abs(b))
+				if math.Abs(a-b) <= floatTol*scale {
+					continue
+				}
+			}
+			t.Fatalf("%s: cell (%d,%s) = %v, want %v", label, r, want.Schema().At(c).Name, g, w)
+		}
+	}
+}
+
+// TestSelectWithMatchesSelect: the parallel filter must emit the same
+// rows in the same order as the serial operator, for every worker
+// count.
+func TestSelectWithMatchesSelect(t *testing.T) {
+	ds := groupedFixture(t, 12007)
+	pred := And{
+		Cmp{Attr: "VALUE", Op: Gt, Val: dataset.Float(-20)},
+		Or{
+			Cmp{Attr: "REGION", Op: Eq, Val: dataset.String("N")},
+			Cmp{Attr: "GROUP", Op: Ge, Val: dataset.Int(3)},
+		},
+	}
+	want, err := Select(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Rows() == 0 || want.Rows() == ds.Rows() {
+		t.Fatalf("degenerate selectivity: %d of %d rows", want.Rows(), ds.Rows())
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := SelectWith(exec.New(workers), ds, pred, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDataset(t, "select", got, want, 0) // bit-identical: rows are copied, not recomputed
+	}
+	if _, err := SelectWith(exec.New(4), ds, Cmp{Attr: "NOPE", Op: Eq, Val: dataset.Int(1)}, 512); err == nil {
+		t.Error("bad predicate should error through the parallel path too")
+	}
+}
+
+// TestGroupByWithMatchesGroupBy: group order, counts and extrema are
+// bit-identical; sum-based aggregates agree to relative 1e-12.
+func TestGroupByWithMatchesGroupBy(t *testing.T) {
+	ds := groupedFixture(t, 10009)
+	keys := []string{"REGION", "GROUP"}
+	aggs := []Agg{
+		{Func: AggCount},
+		{Func: AggSum, Attr: "VALUE"},
+		{Func: AggMean, Attr: "VALUE"},
+		{Func: AggMin, Attr: "VALUE"},
+		{Func: AggMax, Attr: "VALUE"},
+		{Func: AggWMean, Attr: "VALUE", Weight: "WEIGHT"},
+	}
+	want, err := GroupBy(ds, keys, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := GroupByWith(exec.New(workers), ds, keys, aggs, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDataset(t, "groupby", got, want, 1e-12)
+	}
+}
+
+// TestGroupByWithDeterministic: the same chunk grid merges in the same
+// order whatever the worker count, so outputs are bit-identical across
+// worker counts and repeat runs.
+func TestGroupByWithDeterministic(t *testing.T) {
+	ds := groupedFixture(t, 8009)
+	keys := []string{"REGION"}
+	aggs := []Agg{{Func: AggSum, Attr: "VALUE"}, {Func: AggWMean, Attr: "VALUE", Weight: "WEIGHT"}}
+	base, err := GroupByWith(exec.New(2), ds, keys, aggs, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, 4, 8, 4} { // repeat 4 to catch run-to-run drift
+		got, err := GroupByWith(exec.New(workers), ds, keys, aggs, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDataset(t, "determinism", got, base, 0)
+	}
+}
+
+// TestGroupByWithErrors: plan validation fires before any fan-out.
+func TestGroupByWithErrors(t *testing.T) {
+	ds := groupedFixture(t, 100)
+	if _, err := GroupByWith(exec.New(4), ds, []string{"NOPE"}, nil, 64); err == nil {
+		t.Error("missing key should error")
+	}
+	if _, err := GroupByWith(exec.New(4), ds, []string{"REGION"}, []Agg{{Func: AggSum, Attr: "REGION"}}, 64); err == nil {
+		t.Error("sum over string attribute should error")
+	}
+}

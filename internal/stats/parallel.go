@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"statdb/internal/exec"
+)
+
+// This file is the chunked/parallel face of the package: the same
+// operators as desc.go and hist.go, computed by folding fixed-size
+// chunks through an exec.Pool and merging partial states in chunk
+// order. Order-insensitive results (count, min, max, frequencies,
+// histograms, mode, unique, quantiles) are bit-identical to the serial
+// operators; mean and standard deviation are deterministic for any
+// worker count but may differ from the serial two-pass formulas in the
+// last units of precision, since the parallel form groups the sums
+// differently.
+
+// serialEnough reports whether the column is too small (or the pool too
+// narrow) for fan-out to pay; callers then take the exact serial path.
+func serialEnough(p *exec.Pool, n, chunk int) bool {
+	return p == nil || p.Workers() <= 1 || len(exec.Chunks(n, chunk)) <= 1
+}
+
+// SummarizeChunks computes the same Summary as Summarize by partitioned
+// fold-and-merge: moments and extrema via Welford partials with the
+// Chan–Golub–LeVeque merge, and the order statistics (median,
+// quartiles, mode, unique count) read off a merged frequency table —
+// a frequency table is a compressed sort, so the quantile arithmetic of
+// quantileSorted applies to it exactly. With one worker or a single
+// chunk it falls back to Summarize itself.
+func SummarizeChunks(p *exec.Pool, xs []float64, valid []bool, chunk int) (Summary, error) {
+	if serialEnough(p, len(xs), chunk) {
+		return Summarize(xs, valid)
+	}
+	m := exec.ColumnMoments(p, xs, valid, chunk)
+	if m.N == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: int(m.N), Missing: int(m.Missing), Min: m.Min, Max: m.Max}
+	s.Mean, _ = m.MeanValue()
+	if sd, err := m.SD(); err == nil {
+		s.SD = sd
+	} else {
+		s.SD = math.NaN()
+	}
+	values, counts := exec.ColumnFreq(p, xs, valid, chunk).Sorted()
+	s.Median = quantileFreq(values, counts, m.N, 0.5)
+	s.Q1 = quantileFreq(values, counts, m.N, 0.25)
+	s.Q3 = quantileFreq(values, counts, m.N, 0.75)
+	s.Mode = modeFreq(values, counts)
+	s.Unique = len(values)
+	return s, nil
+}
+
+// FrequenciesChunks is Frequencies via chunk-parallel tabulation.
+// Frequency counts are order-insensitive integers, so the result is
+// bit-identical to the serial sort-and-run-length pass.
+func FrequenciesChunks(p *exec.Pool, xs []float64, valid []bool, chunk int) (values []float64, counts []int) {
+	if serialEnough(p, len(xs), chunk) {
+		return Frequencies(xs, valid)
+	}
+	vs, cs := exec.ColumnFreq(p, xs, valid, chunk).Sorted()
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	counts = make([]int, len(cs))
+	for i, c := range cs {
+		counts[i] = int(c)
+	}
+	return vs, counts
+}
+
+// QuantileChunks is Quantile from a merged frequency table: cumulative
+// counts locate the two order statistics quantileSorted would
+// interpolate between, and the interpolation arithmetic is identical,
+// so the result matches the serial operator bit for bit.
+func QuantileChunks(p *exec.Pool, xs []float64, valid []bool, chunk int, q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile p=%g out of [0,1]", q)
+	}
+	if serialEnough(p, len(xs), chunk) {
+		return Quantile(xs, valid, q)
+	}
+	values, counts := exec.ColumnFreq(p, xs, valid, chunk).Sorted()
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0, ErrNoData
+	}
+	return quantileFreq(values, counts, n, q), nil
+}
+
+// NewHistogramChunks is NewHistogram with the range scan and the
+// binning both run through the pool. The edges come out of the same
+// arithmetic as the serial constructor and bin counts are
+// order-insensitive integers, so the histogram is bit-identical.
+func NewHistogramChunks(p *exec.Pool, xs []float64, valid []bool, bins, chunk int) (*Histogram, error) {
+	if serialEnough(p, len(xs), chunk) {
+		return NewHistogram(xs, valid, bins)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", bins)
+	}
+	m := exec.ColumnMoments(p, xs, valid, chunk)
+	if m.N == 0 {
+		return nil, ErrNoData
+	}
+	lo, hi := m.Min, m.Max
+	if lo == hi {
+		hi = lo + 1 // degenerate range: one unit-wide bin
+	}
+	h := &Histogram{Edges: make([]float64, bins+1), Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for i := 0; i <= bins; i++ {
+		h.Edges[i] = lo + width*float64(i)
+	}
+	h.Edges[bins] = hi
+	for i, c := range exec.ColumnHist(p, xs, valid, h.Edges, chunk) {
+		h.Counts[i] = int(c)
+	}
+	return h, nil
+}
+
+// ModeChunks is Mode from a merged frequency table — bit-identical to
+// the serial scan, including its ties-toward-smaller rule.
+func ModeChunks(p *exec.Pool, xs []float64, valid []bool, chunk int) (float64, int, error) {
+	if serialEnough(p, len(xs), chunk) {
+		return Mode(xs, valid)
+	}
+	values, counts := exec.ColumnFreq(p, xs, valid, chunk).Sorted()
+	if len(values) == 0 {
+		return 0, 0, ErrNoData
+	}
+	best, bestN := values[0], counts[0]
+	for i := 1; i < len(values); i++ {
+		if counts[i] > bestN {
+			best, bestN = values[i], counts[i]
+		}
+	}
+	return best, int(bestN), nil
+}
+
+// UniqueCountChunks is UniqueCount via the merged frequency table.
+func UniqueCountChunks(p *exec.Pool, xs []float64, valid []bool, chunk int) int {
+	if serialEnough(p, len(xs), chunk) {
+		return UniqueCount(xs, valid)
+	}
+	return len(exec.ColumnFreq(p, xs, valid, chunk))
+}
+
+// quantileFreq evaluates the type-7 p-quantile over a sorted frequency
+// table of n observations — quantileSorted's formula with the order
+// statistics looked up through cumulative counts instead of a sorted
+// slice.
+func quantileFreq(values []float64, counts []int64, n int64, p float64) float64 {
+	if n == 1 {
+		return values[0]
+	}
+	h := p * float64(n-1)
+	lo := int64(h)
+	if lo >= n-1 {
+		return orderStatFreq(values, counts, n-1)
+	}
+	frac := h - float64(lo)
+	a := orderStatFreq(values, counts, lo)
+	b := orderStatFreq(values, counts, lo+1)
+	return a + frac*(b-a)
+}
+
+// orderStatFreq returns the value at 0-based sorted index k.
+func orderStatFreq(values []float64, counts []int64, k int64) float64 {
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if k < cum {
+			return values[i]
+		}
+	}
+	return values[len(values)-1]
+}
+
+// modeFreq returns the most frequent value, ties toward the smaller —
+// the same rule as Mode's ascending scan.
+func modeFreq(values []float64, counts []int64) float64 {
+	best, bestN := values[0], counts[0]
+	for i := 1; i < len(values); i++ {
+		if counts[i] > bestN {
+			best, bestN = values[i], counts[i]
+		}
+	}
+	return best
+}

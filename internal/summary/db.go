@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"statdb/internal/exec"
 	"statdb/internal/incr"
 	"statdb/internal/index"
 	"statdb/internal/medwin"
@@ -92,6 +93,10 @@ type DB struct {
 	idx      *index.BTree // (attr..., fn) -> slot
 	entries  []*entry
 	counters Counters
+	// Execution engine for whole-column recomputations (SetExec); nil
+	// means serial.
+	pool  *exec.Pool
+	chunk int
 	// WindowCapacity sizes quantile windows ("some number, say 100").
 	WindowCapacity int
 }
@@ -208,7 +213,7 @@ func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
 	e := &entry{fn: fn, attrs: []string{attr}, source: source}
 	xs, valid := source()
 	db.counters.Passes++
-	v, err := builtinScalar(fn, xs, valid)
+	v, err := db.computeScalar(fn, xs, valid)
 	if err != nil {
 		return 0, err
 	}
@@ -266,7 +271,7 @@ func (db *DB) refreshScalar(e *entry) (float64, error) {
 	}
 	xs, valid := e.source()
 	db.counters.Passes++
-	v, err := builtinScalar(e.fn, xs, valid)
+	v, err := db.computeScalar(e.fn, xs, valid)
 	if err != nil {
 		return 0, err
 	}

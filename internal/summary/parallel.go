@@ -1,0 +1,79 @@
+package summary
+
+import (
+	"statdb/internal/exec"
+	"statdb/internal/stats"
+)
+
+// ParallelThreshold is the column length below which Summary Database
+// recomputations stay on the exact serial operators even when a pool is
+// attached: fan-out overhead loses on short columns, and keeping small
+// data sets serial preserves the pre-engine results bit for bit.
+const ParallelThreshold = 2 * exec.DefaultChunk
+
+// SetExec attaches an execution pool so whole-column recomputations
+// (cache misses, stale refills, maintainer rebuild passes feeding
+// computeScalar) run chunk-parallel. A nil or single-worker pool — or
+// chunk <= 0 with short columns — keeps today's serial behavior.
+// Results are deterministic for any worker count; order-insensitive
+// functions (count, min, max, median, quartiles, mode, unique) are
+// bit-identical to serial, while sum, mean, variance and sd may differ
+// in the last units of precision.
+func (db *DB) SetExec(p *exec.Pool, chunk int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pool = p
+	if chunk <= 0 {
+		chunk = exec.DefaultChunk
+	}
+	db.chunk = chunk
+}
+
+// computeScalar evaluates a built-in function, routing long columns
+// through the pool and everything else through builtinScalar.
+func (db *DB) computeScalar(fn string, xs []float64, valid []bool) (float64, error) {
+	p := db.pool
+	if p == nil || p.Workers() <= 1 || len(xs) < ParallelThreshold {
+		return builtinScalar(fn, xs, valid)
+	}
+	switch fn {
+	case "count", "sum", "mean", "variance", "sd", "min", "max":
+		m := exec.ColumnMoments(p, xs, valid, db.chunk)
+		if fn == "count" {
+			return float64(m.N), nil
+		}
+		if m.N < 2 {
+			// Degenerate columns take the serial path so error text and
+			// empty-column semantics match builtinScalar exactly.
+			return builtinScalar(fn, xs, valid)
+		}
+		switch fn {
+		case "sum":
+			return m.Sum, nil
+		case "mean":
+			return m.MeanValue()
+		case "variance":
+			return m.Variance()
+		case "sd":
+			return m.SD()
+		case "min":
+			lo, _, err := m.Extremes()
+			return lo, err
+		case "max":
+			_, hi, err := m.Extremes()
+			return hi, err
+		}
+	case "median":
+		return stats.QuantileChunks(p, xs, valid, db.chunk, 0.5)
+	case "q1":
+		return stats.QuantileChunks(p, xs, valid, db.chunk, 0.25)
+	case "q3":
+		return stats.QuantileChunks(p, xs, valid, db.chunk, 0.75)
+	case "unique":
+		return float64(stats.UniqueCountChunks(p, xs, valid, db.chunk)), nil
+	case "mode":
+		m, _, err := stats.ModeChunks(p, xs, valid, db.chunk)
+		return m, err
+	}
+	return builtinScalar(fn, xs, valid)
+}

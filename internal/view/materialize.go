@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"statdb/internal/dataset"
+	"statdb/internal/exec"
 	"statdb/internal/relalg"
 	"statdb/internal/rules"
 	"statdb/internal/tape"
@@ -34,10 +35,24 @@ func (b *Builder) WithOptions(opts Options) *Builder {
 	return b
 }
 
-// Select keeps rows satisfying pred.
+// execPool returns the pool the pipeline steps run through, or nil for
+// serial materialization. Steps consult it at Build time (not when the
+// step is chained) because core applies WithOptions after the pipeline
+// is assembled.
+func (b *Builder) execPool() *exec.Pool {
+	if b.opts.Parallelism > 1 {
+		return exec.New(b.opts.Parallelism)
+	}
+	return nil
+}
+
+// Select keeps rows satisfying pred. With Parallelism > 1 the rows of
+// the materialized tape blocks are filtered through the execution pool
+// (chunk-partitioned evaluation, order-preserving emit — the same rows
+// as the serial operator).
 func (b *Builder) Select(pred relalg.Predicate) *Builder {
 	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
-		return relalg.Select(ds, pred)
+		return relalg.SelectWith(b.execPool(), ds, pred, 0)
 	})
 	b.ops = append(b.ops, "select "+pred.String())
 	return b
@@ -61,10 +76,11 @@ func (b *Builder) Decode(attr string) *Builder {
 	return b
 }
 
-// GroupBy aggregates over the key attributes.
+// GroupBy aggregates over the key attributes. With Parallelism > 1 the
+// partitions are aggregated through the pool and merged in chunk order.
 func (b *Builder) GroupBy(keys []string, aggs []relalg.Agg) *Builder {
 	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
-		return relalg.GroupBy(ds, keys, aggs)
+		return relalg.GroupByWith(b.execPool(), ds, keys, aggs, 0)
 	})
 	desc := "group by " + strings.Join(keys, ",")
 	for _, a := range aggs {

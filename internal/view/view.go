@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"statdb/internal/dataset"
+	"statdb/internal/exec"
 	"statdb/internal/incr"
 	"statdb/internal/relalg"
 	"statdb/internal/rules"
@@ -78,6 +79,10 @@ type Options struct {
 	// WindowCapacity overrides the Summary Database quantile-window width
 	// when > 0.
 	WindowCapacity int
+	// Parallelism sizes the execution pool for materialization steps and
+	// Summary Database recomputations. 0 or 1 keeps everything serial
+	// (the pre-engine behavior); core.DBMS defaults it to GOMAXPROCS.
+	Parallelism int
 }
 
 // New wraps data as a concrete view registered in mdb under def. The
@@ -102,6 +107,9 @@ func New(data *dataset.Dataset, mdb *rules.ManagementDB, def rules.ViewDef, opts
 	}
 	if opts.WindowCapacity > 0 {
 		v.sdb.WindowCapacity = opts.WindowCapacity
+	}
+	if opts.Parallelism > 1 {
+		v.sdb.SetExec(exec.New(opts.Parallelism), 0)
 	}
 	if v.undoMode == UndoReplay {
 		v.base = data.Clone()
