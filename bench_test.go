@@ -57,6 +57,7 @@ func BenchmarkE10Abstract(b *testing.B)         { benchExperiment(b, bench.E10Ab
 func BenchmarkE11DatabaseMachine(b *testing.B)  { benchExperiment(b, bench.E11DatabaseMachine) }
 func BenchmarkE12ViewBacking(b *testing.B)      { benchExperiment(b, bench.E12ViewBacking) }
 func BenchmarkE13ParallelEngine(b *testing.B)   { benchExperiment(b, bench.E13ParallelEngine) }
+func BenchmarkE14RecoveryCost(b *testing.B)     { benchExperiment(b, bench.E14RecoveryCost) }
 func BenchmarkAblationClustering(b *testing.B)  { benchExperiment(b, bench.AblationClustering) }
 func BenchmarkAblationWindowWidth(b *testing.B) { benchExperiment(b, bench.AblationWindowWidth) }
 func BenchmarkAblationAutoReorg(b *testing.B)   { benchExperiment(b, bench.AblationAutoReorg) }

@@ -91,6 +91,7 @@ func All() []Experiment {
 		{"E11", E11DatabaseMachine},
 		{"E12", E12ViewBacking},
 		{"E13", E13ParallelEngine},
+		{"E14", E14RecoveryCost},
 		{"A1", AblationClustering},
 		{"A2", AblationWindowWidth},
 		{"A3", AblationAutoReorg},

@@ -30,8 +30,9 @@ func (e Encoding) String() string {
 }
 
 // Plain page layout: uint16 count, validity bitmap (plainCap bits), then
-// count 8-byte little-endian payloads. plainCap chosen so a full page
-// fits: 4 + 60 + 480*8 = 3904 <= 4096.
+// count 8-byte little-endian payloads, all within the page payload
+// behind the checksum envelope. plainCap chosen so a full page fits:
+// 2 + 60 + 480*8 = 3902 <= storage.PagePayloadSize (4088).
 const plainCap = 480
 
 // RLE page layout: uint16 logical count, uint16 run count, runs.
@@ -133,7 +134,7 @@ func writePlainPages(pool *storage.BufferPool, meta *columnMeta, vals []int64, n
 		if err != nil {
 			return err
 		}
-		encodePlainPage(page.Buf(), vals[base:end], nulls[base:end])
+		encodePlainPage(page.Payload(), vals[base:end], nulls[base:end])
 		meta.pages = append(meta.pages, id)
 		meta.rowStart = append(meta.rowStart, base)
 		if err := pool.Unpin(id, true); err != nil {
@@ -194,7 +195,7 @@ func writeRLEPages(pool *storage.BufferPool, meta *columnMeta, vals []int64, nul
 		if err != nil {
 			return err
 		}
-		buf := page.Buf()
+		buf := page.Payload()
 		buf[0] = byte(logical)
 		buf[1] = byte(logical >> 8)
 		buf[2] = byte(len(pageRuns))
@@ -217,7 +218,7 @@ func writeRLEPages(pool *storage.BufferPool, meta *columnMeta, vals []int64, nul
 	for _, r := range runs {
 		for r.count > 0 {
 			need := r.encodedLen()
-			if used+need > storage.PageSize && len(pageRuns) > 0 {
+			if used+need > storage.PagePayloadSize && len(pageRuns) > 0 {
 				if err := flush(pageRuns, logical, firstRow); err != nil {
 					return err
 				}
@@ -289,6 +290,16 @@ func (f *File) TotalPages() int {
 	return n
 }
 
+// PageIDs returns every device page the file occupies, column by column
+// in file order — the walk a verification pass uses.
+func (f *File) PageIDs() []storage.PageID {
+	var ids []storage.PageID
+	for _, m := range f.cols {
+		ids = append(ids, m.pages...)
+	}
+	return ids
+}
+
 func (f *File) meta(name string) (*columnMeta, error) {
 	for _, m := range f.cols {
 		if m.name == name {
@@ -347,9 +358,9 @@ func (f *File) pageValues(m *columnMeta, pageIdx int) ([]int64, []bool, error) {
 	var vals []int64
 	var nulls []bool
 	if m.enc == RLE {
-		vals, nulls, err = decodeRLEPage(page.Buf())
+		vals, nulls, err = decodeRLEPage(page.Payload())
 	} else {
-		vals, nulls = decodePlainPage(page.Buf())
+		vals, nulls = decodePlainPage(page.Payload())
 	}
 	if uerr := f.pool.Unpin(id, false); uerr != nil && err == nil {
 		err = uerr
@@ -460,10 +471,10 @@ func (f *File) UpdateValue(name string, rowIdx int, v dataset.Value) error {
 		if err != nil {
 			return err
 		}
-		vals, nulls := decodePlainPage(page.Buf())
+		vals, nulls := decodePlainPage(page.Payload())
 		off := rowIdx - m.rowStart[p]
 		vals[off], nulls[off] = payload, null
-		encodePlainPage(page.Buf(), vals, nulls)
+		encodePlainPage(page.Payload(), vals, nulls)
 		return f.pool.Unpin(id, true)
 	}
 	// RLE: read the whole column, apply, rewrite into fresh pages.

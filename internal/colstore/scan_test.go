@@ -99,11 +99,12 @@ func TestRLEAllNullRuns(t *testing.T) {
 }
 
 // TestRLERunEndsExactlyAtPageBoundary packs runs so the first page's
-// payload fills its 4092 bytes exactly: 1364 three-byte runs
-// (flag + one-byte count + one-byte value). The 1365th run must land at
-// the start of page two with rowStart continuous across the boundary.
+// run area (payload minus the 4-byte RLE header) holds as many
+// three-byte runs (flag + one-byte count + one-byte value) as fit, with
+// under one run's width to spare. The next run must land at the start of
+// page two with rowStart continuous across the boundary.
 func TestRLERunEndsExactlyAtPageBoundary(t *testing.T) {
-	const perPage = (storage.PageSize - 4) / 3 // 1364 three-byte runs
+	const perPage = (storage.PagePayloadSize - 4) / 3 // three-byte runs filling page one
 	const n = perPage + 5
 	vals := make([]dataset.Value, n)
 	for i := range vals {
@@ -148,7 +149,7 @@ func TestRLERunEndsExactlyAtPageBoundary(t *testing.T) {
 // TestRLEOversizeRunMovesWholeToNextPage: a run too wide for the space
 // left on a page is never split mid-run — it opens the next page.
 func TestRLEOversizeRunMovesWholeToNextPage(t *testing.T) {
-	const fill = (storage.PageSize-4)/3 - 1 // leave 6 bytes: too few for the wide run
+	const fill = (storage.PagePayloadSize-4)/3 - 1 // leave a few bytes: too few for the wide run
 	vals := make([]dataset.Value, 0, fill+200)
 	for i := 0; i < fill; i++ {
 		vals = append(vals, dataset.Int(int64(i%2)))

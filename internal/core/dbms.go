@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"statdb/internal/dataset"
 	"statdb/internal/meta"
 	"statdb/internal/rules"
+	"statdb/internal/storage"
 	"statdb/internal/tape"
 	"statdb/internal/view"
 )
@@ -110,6 +112,98 @@ func (d *DBMS) registerView(v *view.View) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.views[v.Name()] = v
+}
+
+// viewsSnapshot returns the registered views in name order without
+// holding d.mu across per-view calls (lock order: DBMS before view).
+func (d *DBMS) viewsSnapshot() []*view.View {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.views))
+	for n := range d.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*view.View, 0, len(names))
+	for _, n := range names {
+		out = append(out, d.views[n])
+	}
+	return out
+}
+
+// RecoverReport aggregates store verification and recovery across every
+// view with an attached store.
+type RecoverReport struct {
+	Views        map[string]view.RecoverReport
+	PagesChecked int
+	CorruptPages int
+	Rebuilt      int // views whose stores were rebuilt from memory
+}
+
+func (r RecoverReport) String() string {
+	return fmt.Sprintf("views=%d checked=%d corrupt=%d rebuilt=%d",
+		len(r.Views), r.PagesChecked, r.CorruptPages, r.Rebuilt)
+}
+
+// Recover walks every view with an attached store, verifies its pages
+// against their checksums, and rebuilds any damaged store from the
+// in-memory view (the copy of record). Views without stores are
+// skipped. Per-view failures are joined, not short-circuited, so one
+// broken device does not block recovery of the rest.
+func (d *DBMS) Recover() (RecoverReport, error) {
+	rep := RecoverReport{Views: make(map[string]view.RecoverReport)}
+	var errs []error
+	for _, v := range d.viewsSnapshot() {
+		if v.StoreBacking() == view.BackingMemory {
+			continue
+		}
+		vr, err := v.RecoverStore()
+		rep.Views[v.Name()] = vr
+		rep.PagesChecked += vr.PagesChecked
+		rep.CorruptPages += vr.CorruptPages
+		if vr.Rebuilt {
+			rep.Rebuilt++
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("view %s: %w", v.Name(), err))
+		}
+	}
+	return rep, errors.Join(errs...)
+}
+
+// ViewStorage is one view's storage health snapshot.
+type ViewStorage struct {
+	Backing view.Backing
+	Stats   storage.Stats
+	Retries storage.RetryStats
+	// Faults is set when the view's device is fault-wrapped: the
+	// injected-fault counters by kind.
+	Faults *storage.FaultCounts
+}
+
+// StorageReport collects device I/O statistics, retry accounting, and —
+// where a fault-injecting device is attached — injected-fault counters
+// for every stored view.
+func (d *DBMS) StorageReport() map[string]ViewStorage {
+	out := make(map[string]ViewStorage)
+	for _, v := range d.viewsSnapshot() {
+		if v.StoreBacking() == view.BackingMemory {
+			continue
+		}
+		vs := ViewStorage{Backing: v.StoreBacking()}
+		if st, err := v.StoreStats(); err == nil {
+			vs.Stats = st
+		}
+		if rs, err := v.StoreRetryStats(); err == nil {
+			vs.Retries = rs
+		}
+		if fd, ok := v.StoreDevice().(*storage.FaultDevice); ok {
+			c := fd.Faults()
+			vs.Faults = &c
+		}
+		out[v.Name()] = vs
+	}
+	return out
 }
 
 // Analyst is one user of the system; views are private per analyst

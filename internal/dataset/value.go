@@ -75,9 +75,20 @@ func (v Value) Kind() Kind { return v.kind }
 // IsNull reports whether v is the missing value.
 func (v Value) IsNull() bool { return v.kind == KindInvalid }
 
+// Accessor panics are intentional API invariants, not error handling:
+// AsInt, AsFloat, AsString and Compare panic only on a programming error
+// in the caller (asking a value for a type it does not hold). Code that
+// handles bytes of unknown provenance — the storage row codec, the
+// Summary Database result codec, tape blocks — must therefore never call
+// an accessor until it has checked Kind (or IsNull) against what the
+// schema promises; those decode paths return storage.ErrCorrupt-class
+// errors instead of panicking. The accessors stay panicking because a
+// kind mismatch that survives decode validation is a bug to surface
+// loudly, not a condition to degrade around.
+
 // AsInt returns the integer held by v. It panics if v does not hold an
-// integer; callers must check Kind first when the type is not statically
-// known.
+// integer — an API invariant (see above); callers must check Kind first
+// when the type is not statically known.
 func (v Value) AsInt() int64 {
 	if v.kind != KindInt {
 		panic(fmt.Sprintf("dataset: AsInt on %s value", v.kind))
@@ -87,7 +98,7 @@ func (v Value) AsInt() int64 {
 
 // AsFloat returns the float held by v. Integer values are widened, which
 // mirrors how statistical packages treat integer columns in arithmetic.
-// It panics on strings and nulls.
+// It panics on strings and nulls — an API invariant (see AsInt).
 func (v Value) AsFloat() float64 {
 	switch v.kind {
 	case KindFloat:
@@ -100,7 +111,7 @@ func (v Value) AsFloat() float64 {
 }
 
 // AsString returns the string held by v. It panics if v does not hold a
-// string.
+// string — an API invariant (see AsInt).
 func (v Value) AsString() string {
 	if v.kind != KindString {
 		panic(fmt.Sprintf("dataset: AsString on %s value", v.kind))
@@ -130,7 +141,9 @@ func (v Value) Equal(o Value) bool {
 // Compare orders two non-null values of the same kind: -1 if v < o,
 // 0 if equal, +1 if v > o. Nulls sort before everything, mirroring the
 // treatment of missing values in the statistical operators (they are
-// excluded before ordering matters).
+// excluded before ordering matters). Comparing a string with a number
+// panics — an API invariant (see AsInt): operands reaching Compare have
+// already been schema-checked.
 func (v Value) Compare(o Value) int {
 	if v.kind == KindInvalid || o.kind == KindInvalid {
 		switch {

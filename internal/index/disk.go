@@ -138,7 +138,7 @@ func NewDiskTree(pool *storage.BufferPool) (*DiskTree, error) {
 		return nil, err
 	}
 	root := &diskNode{leaf: true, next: noLeaf}
-	root.encode(page.Buf())
+	root.encode(page.Payload())
 	if err := pool.Unpin(id, true); err != nil {
 		return nil, err
 	}
@@ -158,7 +158,7 @@ func (t *DiskTree) readNode(id storage.PageID) (*diskNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, err := decodeNode(page.Buf())
+	n, err := decodeNode(page.Payload())
 	if uerr := t.pool.Unpin(id, false); uerr != nil && err == nil {
 		err = uerr
 	}
@@ -170,7 +170,7 @@ func (t *DiskTree) writeNode(id storage.PageID, n *diskNode) error {
 	if err != nil {
 		return err
 	}
-	n.encode(page.Buf())
+	n.encode(page.Payload())
 	return t.pool.Unpin(id, true)
 }
 
@@ -227,7 +227,7 @@ func (t *DiskTree) Put(key []byte, value int64) error {
 			{key: nil, child: t.root},
 			{key: sep, child: right},
 		}}
-		newRoot.encode(page.Buf())
+		newRoot.encode(page.Payload())
 		if err := t.pool.Unpin(id, true); err != nil {
 			return err
 		}
@@ -274,7 +274,7 @@ func (t *DiskTree) insert(id storage.PageID, key []byte, value int64) ([]byte, s
 		n.entries[pos] = diskEntry{key: sep, child: right}
 	}
 
-	if n.encodedSize() <= storage.PageSize {
+	if n.encodedSize() <= storage.PagePayloadSize {
 		return nil, storage.InvalidPage, t.writeNode(id, n)
 	}
 	return t.split(id, n)
@@ -303,7 +303,7 @@ func (t *DiskTree) split(id storage.PageID, n *diskNode) ([]byte, storage.PageID
 	if err != nil {
 		return nil, storage.InvalidPage, err
 	}
-	right.encode(page.Buf())
+	right.encode(page.Payload())
 	if err := t.pool.Unpin(rid, true); err != nil {
 		return nil, storage.InvalidPage, err
 	}

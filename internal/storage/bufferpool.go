@@ -2,7 +2,9 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sync"
 )
 
 // BufferPool caches device pages in memory with LRU replacement.
@@ -12,15 +14,32 @@ import (
 // for statistical databases"; an explicit pool makes the replacement
 // policy a controllable part of the system.
 //
-// The pool is not safe for concurrent use; each analyst session owns its
-// own pool, mirroring the single-analyst-per-view model of the paper.
+// The pool is the storage layer's fault boundary:
+//
+//   - pages read on a Fetch miss are checksum-verified (VerifyPageBuf),
+//     so device corruption surfaces as a CorruptError at the fetch, not
+//     as garbage decoded downstream;
+//   - dirty version-2 pages are sealed (checksummed) before every write
+//     back to the device;
+//   - transient device errors (errors.Is ErrTransient) are retried with
+//     bounded doubling backoff, charged as virtual ticks through the
+//     device's TickCharger so recovery cost lands in the same ledger as
+//     the I/O it recovers.
+//
+// The pool serializes its own state with a mutex so the parallel
+// execution engine may fetch through one pool from several goroutines;
+// per-page latching is still the caller's concern (pages returned by
+// Fetch alias pool frames).
 type BufferPool struct {
+	mu       sync.Mutex
 	dev      Device
 	capacity int
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recent
 	hits     int64
 	misses   int64
+	retry    RetryPolicy
+	rstats   RetryStats
 }
 
 type frame struct {
@@ -28,6 +47,39 @@ type frame struct {
 	buf   []byte
 	pins  int
 	dirty bool
+}
+
+// RetryPolicy bounds transient-error retries. An operation is attempted
+// at most MaxAttempts times; before retry k (1-based) the pool charges
+// BackoffTicks<<(k-1) virtual ticks to the device.
+type RetryPolicy struct {
+	MaxAttempts  int
+	BackoffTicks int64
+}
+
+// DefaultRetryPolicy is the policy used unless overridden: four attempts
+// with backoff 8, 16, 32 ticks — bounded, and cheap next to a seek.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{MaxAttempts: 4, BackoffTicks: 8} }
+
+// RetryStats counts transient-error recovery activity.
+type RetryStats struct {
+	Retries      int64 // individual retry attempts made
+	Recovered    int64 // operations that succeeded after >=1 retry
+	Exhausted    int64 // operations that failed every attempt
+	BackoffTicks int64 // virtual time spent backing off
+}
+
+// Add accumulates o into s.
+func (s *RetryStats) Add(o RetryStats) {
+	s.Retries += o.Retries
+	s.Recovered += o.Recovered
+	s.Exhausted += o.Exhausted
+	s.BackoffTicks += o.BackoffTicks
+}
+
+func (s RetryStats) String() string {
+	return fmt.Sprintf("retries=%d recovered=%d exhausted=%d backoff=%d",
+		s.Retries, s.Recovered, s.Exhausted, s.BackoffTicks)
 }
 
 // NewBufferPool creates a pool of capacity pages over dev.
@@ -40,11 +92,31 @@ func NewBufferPool(dev Device, capacity int) *BufferPool {
 		capacity: capacity,
 		frames:   make(map[PageID]*list.Element, capacity),
 		lru:      list.New(),
+		retry:    DefaultRetryPolicy(),
 	}
 }
 
+// SetRetryPolicy replaces the pool's transient-error retry policy.
+func (bp *BufferPool) SetRetryPolicy(p RetryPolicy) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.retry = p
+}
+
+// RetryStats returns the accumulated transient-error recovery counters.
+func (bp *BufferPool) RetryStats() RetryStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.rstats
+}
+
+// Device returns the device the pool is caching.
+func (bp *BufferPool) Device() Device { return bp.dev }
+
 // HitRate returns the fraction of Fetch calls served from memory.
 func (bp *BufferPool) HitRate() float64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	total := bp.hits + bp.misses
 	if total == 0 {
 		return 0
@@ -52,8 +124,61 @@ func (bp *BufferPool) HitRate() float64 {
 	return float64(bp.hits) / float64(total)
 }
 
-// Fetch pins page id and returns it. The caller must Unpin it.
+// withRetry runs op, retrying while it fails with ErrTransient, up to
+// the policy's attempt budget, charging doubling backoff through the
+// device's TickCharger. Non-transient errors return immediately.
+// The caller holds bp.mu.
+func (bp *BufferPool) withRetry(op func() error) error {
+	attempts := bp.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := bp.retry.BackoffTicks
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			bp.rstats.Retries++
+			bp.rstats.BackoffTicks += backoff
+			if tc, ok := bp.dev.(TickCharger); ok {
+				tc.ChargeTicks(backoff)
+			}
+			backoff *= 2
+		}
+		err = op()
+		if err == nil {
+			if a > 0 {
+				bp.rstats.Recovered++
+			}
+			return nil
+		}
+		if !errors.Is(err, ErrTransient) {
+			return err
+		}
+	}
+	bp.rstats.Exhausted++
+	return err
+}
+
+// readPage reads id into buf with retry and checksum verification.
+func (bp *BufferPool) readPage(id PageID, buf []byte) error {
+	if err := bp.withRetry(func() error { return bp.dev.ReadPage(id, buf) }); err != nil {
+		return err
+	}
+	return VerifyPageBuf(buf, id)
+}
+
+// writePage seals (version-2 images only) and writes buf with retry.
+func (bp *BufferPool) writePage(id PageID, buf []byte) error {
+	SealPage(buf)
+	return bp.withRetry(func() error { return bp.dev.WritePage(id, buf) })
+}
+
+// Fetch pins page id and returns it. The caller must Unpin it. A page
+// whose image fails checksum verification is not cached; the
+// CorruptError identifies it.
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if e, ok := bp.frames[id]; ok {
 		bp.hits++
 		bp.lru.MoveToFront(e)
@@ -66,7 +191,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		return nil, err
 	}
 	buf := make([]byte, PageSize)
-	if err := bp.dev.ReadPage(id, buf); err != nil {
+	if err := bp.readPage(id, buf); err != nil {
 		return nil, err
 	}
 	f := &frame{id: id, buf: buf, pins: 1}
@@ -77,6 +202,8 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 // NewPage allocates a fresh device page, pins it, and returns it
 // initialized and marked dirty.
 func (bp *BufferPool) NewPage() (PageID, *Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	id, err := bp.dev.Allocate()
 	if err != nil {
 		return InvalidPage, nil, err
@@ -91,6 +218,7 @@ func (bp *BufferPool) NewPage() (PageID, *Page, error) {
 	return id, p, nil
 }
 
+// evictIfFull makes room for one more frame. The caller holds bp.mu.
 func (bp *BufferPool) evictIfFull() error {
 	for len(bp.frames) >= bp.capacity {
 		victim := (*frame)(nil)
@@ -106,8 +234,8 @@ func (bp *BufferPool) evictIfFull() error {
 			return fmt.Errorf("storage: buffer pool of %d frames has no unpinned page", bp.capacity)
 		}
 		if victim.dirty {
-			if err := bp.dev.WritePage(victim.id, victim.buf); err != nil {
-				return err
+			if err := bp.writePage(victim.id, victim.buf); err != nil {
+				return fmt.Errorf("storage: evict page %d: %w", victim.id, err)
 			}
 		}
 		bp.lru.Remove(elem)
@@ -119,6 +247,8 @@ func (bp *BufferPool) evictIfFull() error {
 // Unpin releases one pin on page id; dirty records that the caller
 // modified the page.
 func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	e, ok := bp.frames[id]
 	if !ok {
 		return fmt.Errorf("storage: unpin of unbuffered page %d", id)
@@ -134,16 +264,38 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
 	return nil
 }
 
-// FlushAll writes every dirty buffered page back to the device.
+// MarkDirty flags a buffered page dirty without a pin cycle — used after
+// an in-place image transform (legacy page upgrade) so the converted
+// bytes reach the device.
+func (bp *BufferPool) MarkDirty(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	e, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: mark-dirty of unbuffered page %d", id)
+	}
+	e.Value.(*frame).dirty = true
+	return nil
+}
+
+// FlushAll writes every dirty buffered page back to the device. It
+// attempts all of them even when some fail; each failure is reported
+// with its page identity and joined into the returned error, and failed
+// pages stay dirty so a later FlushAll can retry them.
 func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var errs []error
 	for e := bp.lru.Front(); e != nil; e = e.Next() {
 		f := e.Value.(*frame)
-		if f.dirty {
-			if err := bp.dev.WritePage(f.id, f.buf); err != nil {
-				return err
-			}
-			f.dirty = false
+		if !f.dirty {
+			continue
 		}
+		if err := bp.writePage(f.id, f.buf); err != nil {
+			errs = append(errs, fmt.Errorf("storage: flush page %d: %w", f.id, err))
+			continue
+		}
+		f.dirty = false
 	}
-	return nil
+	return errors.Join(errs...)
 }

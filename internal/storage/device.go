@@ -59,6 +59,13 @@ func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d seeks=%d ticks=%d", s.Reads, s.Writes, s.Seeks, s.Ticks)
 }
 
+// TickCharger is implemented by devices that can absorb extra virtual
+// time: the buffer pool charges retry backoff through it so recovery
+// cost shows up in the same tick ledger as the I/O it recovers.
+type TickCharger interface {
+	ChargeTicks(n int64)
+}
+
 // Device is a random-access array of pages with cost accounting.
 type Device interface {
 	// ReadPage copies page id into buf (len PageSize).
@@ -165,3 +172,13 @@ func (d *MemDevice) ResetStats() {
 	d.stats = Stats{}
 	d.last = InvalidPage
 }
+
+// ChargeTicks implements TickCharger.
+func (d *MemDevice) ChargeTicks(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Ticks += n
+}
+
+var _ Device = (*MemDevice)(nil)
+var _ TickCharger = (*MemDevice)(nil)

@@ -10,6 +10,12 @@ import (
 // persistence path, as opposed to MemDevice's simulation. It keeps the
 // same virtual cost accounting so experiments remain comparable, while
 // the bytes actually reach disk.
+//
+// I/O system calls are retried a bounded number of times with backoff
+// charged to the tick ledger (interrupted calls and short transfers are
+// the realistic transient failures at this layer), and every page read
+// is checksum-verified before it is returned, so device-level corruption
+// is reported at the read that observes it.
 type FileDevice struct {
 	mu    sync.Mutex
 	f     *os.File
@@ -17,6 +23,7 @@ type FileDevice struct {
 	cost  CostModel
 	last  PageID
 	stats Stats
+	retry RetryPolicy
 }
 
 // OpenFileDevice opens (or creates) path as a page device. An existing
@@ -35,7 +42,20 @@ func OpenFileDevice(path string, cost CostModel) (*FileDevice, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: device file %s is %d bytes, not page aligned", path, st.Size())
 	}
-	return &FileDevice{f: f, pages: int(st.Size() / PageSize), cost: cost, last: InvalidPage}, nil
+	return &FileDevice{
+		f:     f,
+		pages: int(st.Size() / PageSize),
+		cost:  cost,
+		last:  InvalidPage,
+		retry: DefaultRetryPolicy(),
+	}, nil
+}
+
+// SetRetryPolicy replaces the device's system-call retry policy.
+func (d *FileDevice) SetRetryPolicy(p RetryPolicy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.retry = p
 }
 
 // Close flushes and closes the underlying file.
@@ -70,7 +90,36 @@ func (d *FileDevice) ReadPage(id PageID, buf []byte) error {
 	}
 	d.charge(id)
 	d.stats.Reads++
-	_, err := d.f.ReadAt(buf, int64(id)*PageSize)
+	if err := d.retrySyscall(func() error {
+		_, err := d.f.ReadAt(buf, int64(id)*PageSize)
+		return err
+	}); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return VerifyPageBuf(buf, id)
+}
+
+// retrySyscall runs op, retrying up to the policy's attempt budget with
+// doubling backoff charged as virtual ticks. Any I/O error is treated as
+// possibly transient at this layer (interrupted call, short transfer);
+// the last error is returned when the budget runs out. The caller holds
+// d.mu.
+func (d *FileDevice) retrySyscall(op func() error) error {
+	attempts := d.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := d.retry.BackoffTicks
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			d.stats.Ticks += backoff
+			backoff *= 2
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
 	return err
 }
 
@@ -86,8 +135,11 @@ func (d *FileDevice) WritePage(id PageID, buf []byte) error {
 	}
 	d.charge(id)
 	d.stats.Writes++
-	if _, err := d.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+	if err := d.retrySyscall(func() error {
+		_, err := d.f.WriteAt(buf, int64(id)*PageSize)
 		return err
+	}); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
 	if int(id) == d.pages {
 		d.pages++
@@ -130,4 +182,12 @@ func (d *FileDevice) ResetStats() {
 	d.last = InvalidPage
 }
 
+// ChargeTicks implements TickCharger.
+func (d *FileDevice) ChargeTicks(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Ticks += n
+}
+
 var _ Device = (*FileDevice)(nil)
+var _ TickCharger = (*FileDevice)(nil)

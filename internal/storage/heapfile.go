@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 
 	"statdb/internal/dataset"
@@ -30,6 +31,37 @@ func NewHeapFile(pool *BufferPool, schema *dataset.Schema) *HeapFile {
 	return &HeapFile{pool: pool, schema: schema}
 }
 
+// OpenHeapFile re-attaches a heap file whose page list and live count
+// were persisted elsewhere (the Summary Database commit record does
+// this). The pages must exist on the pool's device.
+func OpenHeapFile(pool *BufferPool, schema *dataset.Schema, pages []PageID, count int) *HeapFile {
+	return &HeapFile{pool: pool, schema: schema, pages: append([]PageID(nil), pages...), count: count}
+}
+
+// Pages returns the file's page list in insertion order (a copy).
+func (h *HeapFile) Pages() []PageID { return append([]PageID(nil), h.pages...) }
+
+// fetchSlotted fetches a page and transparently upgrades a legacy
+// (version-1, pre-checksum) image to the enveloped layout, marking it
+// dirty so the upgrade is persisted with a checksum at next flush.
+func (h *HeapFile) fetchSlotted(id PageID) (*Page, error) {
+	p, err := h.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	if p.Version() == 1 {
+		if err := p.UpgradeLegacy(id); err != nil {
+			_ = h.pool.Unpin(id, false)
+			return nil, err
+		}
+		if err := h.pool.MarkDirty(id); err != nil {
+			_ = h.pool.Unpin(id, false)
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
 // Schema returns the file's row schema.
 func (h *HeapFile) Schema() *dataset.Schema { return h.schema }
 
@@ -45,7 +77,7 @@ func (h *HeapFile) Insert(row dataset.Row) (RID, error) {
 	rec := EncodeRow(nil, row)
 	if len(h.pages) > 0 {
 		last := h.pages[len(h.pages)-1]
-		p, err := h.pool.Fetch(last)
+		p, err := h.fetchSlotted(last)
 		if err != nil {
 			return RID{}, err
 		}
@@ -75,9 +107,10 @@ func (h *HeapFile) Insert(row dataset.Row) (RID, error) {
 	return RID{id, slot}, h.pool.Unpin(id, true)
 }
 
-// Get returns the record at rid.
+// Get returns the record at rid. A record whose bytes fail to decode is
+// reported as a CorruptError locating the page and slot.
 func (h *HeapFile) Get(rid RID) (dataset.Row, error) {
-	p, err := h.pool.Fetch(rid.Page)
+	p, err := h.fetchSlotted(rid.Page)
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +120,10 @@ func (h *HeapFile) Get(rid RID) (dataset.Row, error) {
 		return nil, err
 	}
 	row, err := DecodeRow(rec, h.schema.Len())
+	if err != nil {
+		err = &CorruptError{Page: rid.Page, Slot: rid.Slot, Off: -1,
+			Detail: "row codec", Cause: err}
+	}
 	if uerr := h.pool.Unpin(rid.Page, false); uerr != nil && err == nil {
 		err = uerr
 	}
@@ -97,7 +134,7 @@ func (h *HeapFile) Get(rid RID) (dataset.Row, error) {
 // in the page even after compaction, Update fails; the caller relocates.
 func (h *HeapFile) Update(rid RID, row dataset.Row) error {
 	rec := EncodeRow(nil, row)
-	p, err := h.pool.Fetch(rid.Page)
+	p, err := h.fetchSlotted(rid.Page)
 	if err != nil {
 		return err
 	}
@@ -115,7 +152,7 @@ func (h *HeapFile) Update(rid RID, row dataset.Row) error {
 
 // Delete removes the record at rid.
 func (h *HeapFile) Delete(rid RID) error {
-	p, err := h.pool.Fetch(rid.Page)
+	p, err := h.fetchSlotted(rid.Page)
 	if err != nil {
 		return err
 	}
@@ -135,7 +172,7 @@ func (h *HeapFile) Delete(rid RID) error {
 // that dominates statistical operations (Section 2.2).
 func (h *HeapFile) Scan(fn func(rid RID, row dataset.Row) bool) error {
 	for _, id := range h.pages {
-		p, err := h.pool.Fetch(id)
+		p, err := h.fetchSlotted(id)
 		if err != nil {
 			return err
 		}
@@ -152,7 +189,69 @@ func (h *HeapFile) Scan(fn func(rid RID, row dataset.Row) bool) error {
 			row, err := DecodeRow(rec, h.schema.Len())
 			if err != nil {
 				_ = h.pool.Unpin(id, false)
-				return err
+				return &CorruptError{Page: id, Slot: s, Off: -1,
+					Detail: "row codec", Cause: err}
+			}
+			if !fn(RID{id, s}, row) {
+				stop = true
+				break
+			}
+		}
+		if err := h.pool.Unpin(id, false); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Corruption describes one unit (a page or a record) that a tolerant
+// scan skipped because its bytes did not verify or decode.
+type Corruption struct {
+	Page PageID
+	Slot int // -1 when the whole page was skipped
+	Err  error
+}
+
+// ScanTolerant is Scan for recovery paths: instead of aborting at the
+// first corrupt page or record, it reports each corruption through bad
+// (when non-nil) and continues with the rest of the file. Only
+// ErrCorrupt-class failures are tolerated; device errors that are not
+// corruption (unknown page, exhausted transient retries) still abort.
+// The Summary Database uses this to degrade — drop what cannot be read,
+// recompute it from the concrete view (Section 3.2's cache semantics).
+func (h *HeapFile) ScanTolerant(fn func(rid RID, row dataset.Row) bool, bad func(Corruption)) error {
+	report := func(c Corruption) {
+		if bad != nil {
+			bad(c)
+		}
+	}
+	for _, id := range h.pages {
+		p, err := h.fetchSlotted(id)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				report(Corruption{Page: id, Slot: -1, Err: err})
+				continue
+			}
+			return err
+		}
+		stop := false
+		for s := 0; s < p.NumSlots(); s++ {
+			rec, err := p.Get(s)
+			if err == ErrRecordDeleted {
+				continue
+			}
+			if err != nil {
+				report(Corruption{Page: id, Slot: s, Err: err})
+				continue
+			}
+			row, err := DecodeRow(rec, h.schema.Len())
+			if err != nil {
+				report(Corruption{Page: id, Slot: s,
+					Err: &CorruptError{Page: id, Slot: s, Off: -1, Detail: "row codec", Cause: err}})
+				continue
 			}
 			if !fn(RID{id, s}, row) {
 				stop = true
@@ -183,14 +282,21 @@ func (h *HeapFile) Load(ds *dataset.Dataset) ([]RID, error) {
 }
 
 // Materialize reads the whole file back into an in-memory data set in
-// file order.
+// file order. A decoded row the schema rejects means the stored bytes
+// were wrong despite decoding — reported as corruption, not a panic.
 func (h *HeapFile) Materialize() (*dataset.Dataset, error) {
 	out := dataset.New(h.schema)
-	err := h.Scan(func(_ RID, row dataset.Row) bool {
+	var appendErr error
+	err := h.Scan(func(rid RID, row dataset.Row) bool {
 		if err := out.Append(row); err != nil {
-			panic(err) // row came from this schema; cannot mismatch
+			appendErr = &CorruptError{Page: rid.Page, Slot: rid.Slot, Off: -1,
+				Detail: "decoded row rejected by schema", Cause: err}
+			return false
 		}
 		return true
 	})
+	if err == nil {
+		err = appendErr
+	}
 	return out, err
 }

@@ -5,21 +5,29 @@ import (
 	"fmt"
 )
 
-// Slotted page layout (little endian):
+// Slotted page layout (little endian), version 2:
 //
-//	offset 0:  uint16 slot count
-//	offset 2:  uint16 free-space pointer (offset of first free byte)
-//	offset 4:  record area, growing upward
+//	offset 0:  8-byte page envelope (magic, version, CRC — checksum.go)
+//	offset 8:  uint16 slot count
+//	offset 10: uint16 free-space pointer (offset of first free byte)
+//	offset 12: record area, growing upward
 //	end:       slot directory, growing downward; each slot is
 //	           uint16 offset, uint16 length. offset == 0xFFFF marks a
 //	           deleted slot (offset 0 is never a record start).
 //
-// Records are at most PageSize-8 bytes, so any record that fits in a
+// Version 1 (legacy, pre-checksum) had no envelope: slot count at 0,
+// free pointer at 2, records from 4. UpgradeLegacy converts a v1 image
+// in place; the heap file applies it transparently on first fetch.
+//
+// Records are at most PageSize-16 bytes, so any record that fits in a
 // page fits with its slot.
 const (
-	pageHeaderSize = 4
+	pageHeaderSize = PageEnvelopeSize + 4
 	slotSize       = 4
 	deletedOffset  = 0xFFFF
+
+	// legacy (version 1) layout constants, used only by UpgradeLegacy.
+	legacyHeaderSize = 4
 )
 
 // MaxRecordSize is the largest record a page can hold.
@@ -40,23 +48,102 @@ func NewPage(buf []byte) *Page {
 	return &Page{buf: buf}
 }
 
-// Init formats the page as empty.
+// Init formats the page as empty, stamping the version-2 envelope (the
+// checksum itself is written when the page is flushed).
 func (p *Page) Init() {
 	for i := range p.buf {
 		p.buf[i] = 0
 	}
+	initEnvelope(p.buf)
 	p.setSlotCount(0)
 	p.setFreePtr(pageHeaderSize)
 }
 
-// Buf returns the underlying buffer.
+// Buf returns the underlying buffer, envelope included.
 func (p *Page) Buf() []byte { return p.buf }
 
-func (p *Page) slotCount() int       { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
-func (p *Page) setSlotCount(n int)   { binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n)) }
-func (p *Page) freePtr() int         { return int(binary.LittleEndian.Uint16(p.buf[2:4])) }
-func (p *Page) setFreePtr(off int)   { binary.LittleEndian.PutUint16(p.buf[2:4], uint16(off)) }
+// Payload returns the page bytes behind the envelope — the region page
+// formats (column segments, index nodes) may use freely; the envelope
+// stays under the buffer pool's control.
+func (p *Page) Payload() []byte { return p.buf[PageEnvelopeSize:] }
+
+// Version reports the page's layout version (see PageVersion).
+func (p *Page) Version() int { return PageVersion(p.buf) }
+
+const (
+	slotCountOff = PageEnvelopeSize
+	freePtrOff   = PageEnvelopeSize + 2
+)
+
+func (p *Page) slotCount() int {
+	return int(binary.LittleEndian.Uint16(p.buf[slotCountOff : slotCountOff+2]))
+}
+func (p *Page) setSlotCount(n int) {
+	binary.LittleEndian.PutUint16(p.buf[slotCountOff:slotCountOff+2], uint16(n))
+}
+func (p *Page) freePtr() int {
+	return int(binary.LittleEndian.Uint16(p.buf[freePtrOff : freePtrOff+2]))
+}
+func (p *Page) setFreePtr(off int) {
+	binary.LittleEndian.PutUint16(p.buf[freePtrOff:freePtrOff+2], uint16(off))
+}
+
 func (p *Page) slotPos(slot int) int { return PageSize - (slot+1)*slotSize }
+
+// UpgradeLegacy converts a version-1 slotted page image to version 2 in
+// place: the record area shifts up by the envelope size and every live
+// slot offset is rebased. It validates the v1 header and slot directory
+// first and returns a CorruptError when they are implausible, so a
+// garbled page is reported rather than silently reinterpreted. A page
+// already at version 2 is left untouched.
+//
+// The caller (the heap file) must mark the page dirty so the upgraded
+// image is flushed back with a checksum.
+func (p *Page) UpgradeLegacy(id PageID) error {
+	if p.Version() == 2 {
+		return nil
+	}
+	slots := int(binary.LittleEndian.Uint16(p.buf[0:2]))
+	free := int(binary.LittleEndian.Uint16(p.buf[2:4]))
+	maxSlots := (PageSize - legacyHeaderSize) / slotSize
+	if slots > maxSlots || free < legacyHeaderSize || free > PageSize-slots*slotSize {
+		return &CorruptError{Page: id, Slot: -1, Off: -1,
+			Detail: "implausible legacy slotted header"}
+	}
+	type slotEntry struct{ off, length int }
+	dir := make([]slotEntry, slots)
+	for s := 0; s < slots; s++ {
+		pos := p.slotPos(s)
+		off := int(binary.LittleEndian.Uint16(p.buf[pos : pos+2]))
+		length := int(binary.LittleEndian.Uint16(p.buf[pos+2 : pos+4]))
+		if off != deletedOffset && (off < legacyHeaderSize || off+length > free) {
+			return &CorruptError{Page: id, Slot: s, Off: off,
+				Detail: "legacy slot outside record area"}
+		}
+		dir[s] = slotEntry{off, length}
+	}
+	shift := pageHeaderSize - legacyHeaderSize
+	if free+shift > PageSize-slots*slotSize {
+		// The page was packed so tightly the envelope cannot fit even
+		// though the directory validated; compacting is the caller's
+		// recourse, but a full v1 page cannot become a valid v2 page.
+		return &CorruptError{Page: id, Slot: -1, Off: -1,
+			Detail: "legacy page too full to carry a checksum envelope"}
+	}
+	// copy is memmove-safe for the overlapping shift.
+	copy(p.buf[legacyHeaderSize+shift:free+shift], p.buf[legacyHeaderSize:free])
+	initEnvelope(p.buf)
+	p.setSlotCount(slots)
+	p.setFreePtr(free + shift)
+	for s, e := range dir {
+		if e.off == deletedOffset {
+			p.setSlot(s, deletedOffset, 0)
+		} else {
+			p.setSlot(s, e.off+shift, e.length)
+		}
+	}
+	return nil
+}
 
 func (p *Page) slot(slot int) (off, length int) {
 	pos := p.slotPos(slot)

@@ -201,7 +201,12 @@ func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
 			db.counters.Hits++
 			return e.result.Scalar, nil
 		}
-		// Stale entry: regenerate in place.
+		// Stale entry: regenerate in place. Entries restored from disk
+		// carry no maintenance state and no source (persist.go); adopt the
+		// caller's source so recovered entries recompute like misses.
+		if e.source == nil && e.recompute == nil {
+			e.source = source
+		}
 		v, err := db.refreshScalar(e)
 		if err != nil {
 			return 0, err
@@ -268,6 +273,13 @@ func (db *DB) refreshScalar(e *entry) (float64, error) {
 		e.fresh = true
 		db.counters.Recomputes++
 		return r.Scalar, nil
+	}
+	if e.source == nil {
+		// A loaded entry whose source has not been re-adopted yet (custom
+		// result restored from disk, or a lookup path that cannot supply
+		// one). Degrade explicitly instead of dereferencing nil.
+		return 0, fmt.Errorf("summary: stale entry %s(%s) has no source to recompute from",
+			e.fn, strings.Join(e.attrs, ","))
 	}
 	xs, valid := e.source()
 	db.counters.Passes++

@@ -1,0 +1,34 @@
+package summary
+
+import (
+	"testing"
+
+	"statdb/internal/stats"
+)
+
+// FuzzDecodeResult mutates valid result encodings: decodeResult must
+// return a result or an error for any input — never panic, never
+// allocate unbounded memory from a corrupt length prefix.
+func FuzzDecodeResult(f *testing.F) {
+	h, _ := stats.NewHistogram([]float64{1, 2, 3, 4, 5, 6}, nil, 4)
+	seeds := []Result{
+		ScalarOf(3.5),
+		VectorOf([]float64{1, 2, 3}),
+		VectorOf(nil),
+		HistogramOf(h),
+		HistogramOf(nil),
+		TextOf("analysis note"),
+	}
+	for _, r := range seeds {
+		f.Add(encodeResult(r))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := decodeResult(data)
+		if err == nil {
+			// Whatever decoded must re-encode without panicking: the
+			// result is structurally sound, not just accepted.
+			_ = encodeResult(res)
+		}
+	})
+}

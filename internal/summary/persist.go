@@ -93,6 +93,11 @@ func decodeResult(buf []byte) (Result, error) {
 			return Result{}, fmt.Errorf("summary: bad vector length")
 		}
 		buf = buf[sz:]
+		// Bound the allocation by the bytes actually present: a corrupt
+		// length must fail cleanly, not allocate gigabytes.
+		if n > uint64(len(buf))/8 {
+			return Result{}, fmt.Errorf("summary: vector length %d exceeds %d payload bytes", n, len(buf))
+		}
 		vec := make([]float64, n)
 		var err error
 		for i := range vec {
@@ -110,6 +115,10 @@ func decodeResult(buf []byte) (Result, error) {
 		buf = buf[sz:]
 		if n == 0 {
 			return HistogramOf(nil), nil
+		}
+		// Same bound as vectors: n edges need 8n bytes before the counts.
+		if n > uint64(len(buf))/8 {
+			return Result{}, fmt.Errorf("summary: histogram with %d edges exceeds %d payload bytes", n, len(buf))
 		}
 		h := &stats.Histogram{Edges: make([]float64, n), Counts: make([]int, n-1)}
 		var err error
@@ -135,8 +144,10 @@ func decodeResult(buf []byte) (Result, error) {
 }
 
 // Save writes every entry to the heap file and indexes it in tree, which
-// must be empty. The caller persists the heap file's device and the
-// tree's root page elsewhere (a catalog).
+// must be empty. A nil tree skips indexing (the crash-consistent Store
+// checkpoints without one: Restore scans). The caller persists the heap
+// file's device and the tree's root page elsewhere (a catalog or the
+// Store's commit record).
 func (db *DB) Save(h *storage.HeapFile, tree *index.DiskTree) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -157,45 +168,93 @@ func (db *DB) Save(h *storage.HeapFile, tree *index.DiskTree) error {
 		if err != nil {
 			return err
 		}
-		key := entryKey(e.fn, e.attrs)
-		if err := tree.Put(key, int64(rid.Page)<<16|int64(rid.Slot)); err != nil {
-			return err
+		if tree != nil {
+			key := entryKey(e.fn, e.attrs)
+			if err := tree.Put(key, int64(rid.Page)<<16|int64(rid.Slot)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// LoadReport accounts for what a tolerant load salvaged and what it had
+// to give up. Because the Summary Database is a cache over the concrete
+// view (Section 3.2), giving up is always safe: a dropped entry is a
+// future miss, a stale entry a future recompute.
+type LoadReport struct {
+	Loaded       int // entries restored fresh as stored
+	StaleMarked  int // entries whose key decoded but whose result did not: kept, marked for recompute
+	Dropped      int // records that did not decode at all
+	CorruptPages int // whole pages skipped on checksum failure
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("loaded=%d stale=%d dropped=%d corrupt_pages=%d",
+		r.Loaded, r.StaleMarked, r.Dropped, r.CorruptPages)
 }
 
 // Load reads every record of h back into a fresh cache attached to the
 // same Management Database. Entries come back without maintenance state:
 // the first post-load update to an attribute invalidates its entries, and
 // the next read rebuilds — the safe lazy path.
-func Load(db *DB, h *storage.HeapFile) error {
+//
+// Load degrades rather than fails on corruption: a page that fails its
+// checksum is skipped whole, a record that does not decode is dropped,
+// and a record whose (function, attributes) key decodes but whose result
+// payload does not is kept as a stale entry so the next lookup recomputes
+// it from the view. The report says what happened; the error is reserved
+// for non-corruption failures (wrong schema, device errors).
+func Load(db *DB, h *storage.HeapFile) (LoadReport, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	var rep LoadReport
 	if !h.Schema().Equal(resultSchema()) {
-		return fmt.Errorf("summary: heap file has schema %s, want the summary schema", h.Schema())
+		return rep, fmt.Errorf("summary: heap file has schema %s, want the summary schema", h.Schema())
 	}
-	var loadErr error
-	err := h.Scan(func(_ storage.RID, row dataset.Row) bool {
+	err := h.ScanTolerant(func(_ storage.RID, row dataset.Row) bool {
+		// DecodeRow validates the wire format, not the schema kinds: a
+		// damaged record can decode into the wrong kinds, so check before
+		// every accessor (the dataset.Value accessors panic by contract).
+		if len(row) != 4 ||
+			row[0].Kind() != dataset.KindString ||
+			row[1].Kind() != dataset.KindString ||
+			row[2].Kind() != dataset.KindInt ||
+			row[3].Kind() != dataset.KindString {
+			rep.Dropped++
+			return true
+		}
 		attrs := strings.Split(row[0].AsString(), "\x1f")
+		e := &entry{
+			fn:    row[1].AsString(),
+			attrs: attrs,
+		}
+		if _, dup := db.idx.Get(e.key()); dup {
+			rep.Dropped++ // a damaged record that aliases a live key
+			return true
+		}
 		res, err := decodeResult([]byte(row[3].AsString()))
 		if err != nil {
-			loadErr = err
-			return false
+			// The key survived but the result did not: keep the entry
+			// stale so the next lookup recomputes — degrade, not fail.
+			e.fresh = false
+			rep.StaleMarked++
+			db.insert(e)
+			return true
 		}
-		e := &entry{
-			fn:     row[1].AsString(),
-			attrs:  attrs,
-			result: res,
-			fresh:  row[2].AsInt() == 1,
-		}
+		e.result = res
+		e.fresh = row[2].AsInt() == 1
 		db.insert(e)
+		rep.Loaded++
 		return true
+	}, func(c storage.Corruption) {
+		if c.Slot < 0 {
+			rep.CorruptPages++
+		} else {
+			rep.Dropped++
+		}
 	})
-	if err != nil {
-		return err
-	}
-	return loadErr
+	return rep, err
 }
 
 // NewSummaryHeapFile creates a heap file with the summary row schema.

@@ -78,8 +78,15 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 
 	restored := NewDB(mdb)
-	if err := Load(restored, heap); err != nil {
+	rep, err := Load(restored, heap)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.Dropped != 0 || rep.StaleMarked != 0 || rep.CorruptPages != 0 {
+		t.Fatalf("clean load degraded: %v", rep)
+	}
+	if rep.Loaded != db.Len() {
+		t.Fatalf("report says %d loaded, want %d", rep.Loaded, db.Len())
 	}
 	if restored.Len() != db.Len() {
 		t.Fatalf("restored %d entries, want %d", restored.Len(), db.Len())

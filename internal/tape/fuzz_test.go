@@ -1,0 +1,29 @@
+package tape
+
+import (
+	"testing"
+
+	"statdb/internal/dataset"
+	"statdb/internal/storage"
+)
+
+// FuzzTapeDecodeBlock mutates valid block encodings: decodeBlock must
+// return rows or an error for any input, never panic — a damaged tape
+// surfaces as a CorruptError in Read, not a crash.
+func FuzzTapeDecodeBlock(f *testing.F) {
+	var blk []byte
+	for i := 0; i < 4; i++ {
+		blk = storage.EncodeRow(blk, dataset.Row{
+			dataset.Int(int64(i)), dataset.Float(float64(i) / 2), dataset.String("r"),
+		})
+	}
+	f.Add(blk, 3, 4)
+	f.Add(blk[:len(blk)-3], 3, 4)
+	f.Add([]byte{}, 1, 0)
+	f.Fuzz(func(t *testing.T, data []byte, width, n int) {
+		if width < 0 || width > 64 || n < 0 || n > BlockRows {
+			return
+		}
+		_, _ = decodeBlock(data, width, n)
+	})
+}

@@ -195,7 +195,9 @@ func (a *Archive) Read(name string, fn func(row dataset.Row) bool) error {
 		remaining -= n
 		rows, err := decodeBlock(blk, width, n)
 		if err != nil {
-			return fmt.Errorf("tape: file %q: %w", name, err)
+			return fmt.Errorf("tape: file %q block %d: %w", name, a.head-f.startBlock-1,
+				&storage.CorruptError{Page: storage.InvalidPage, Slot: -1, Off: -1,
+					Detail: "tape block decode", Cause: err})
 		}
 		for _, r := range rows {
 			if !fn(r) {
@@ -215,13 +217,23 @@ func (a *Archive) Materialize(name string) (*dataset.Dataset, error) {
 	}
 	out := dataset.New(sch)
 	out.SetName(name)
+	var appendErr error
 	if err := a.Read(name, func(r dataset.Row) bool {
 		if err := out.Append(r); err != nil {
-			panic(err) // rows were encoded from this schema
+			// The block decoded but the schema rejects the row: the
+			// archived bytes were wrong despite decoding. Report it as
+			// corruption instead of decoding garbage into the view.
+			appendErr = fmt.Errorf("tape: file %q: %w", name,
+				&storage.CorruptError{Page: storage.InvalidPage, Slot: -1, Off: -1,
+					Detail: "archived row rejected by schema", Cause: err})
+			return false
 		}
 		return true
 	}); err != nil {
 		return nil, err
+	}
+	if appendErr != nil {
+		return nil, appendErr
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package view
 
 import (
+	"errors"
 	"fmt"
 
 	"statdb/internal/colstore"
@@ -39,10 +40,23 @@ func (b Backing) String() string {
 // store is the attached storage state.
 type store struct {
 	backing Backing
-	dev     *storage.MemDevice
+	dev     storage.Device
+	pool    *storage.BufferPool
+	frames  int
 	heap    *storage.HeapFile
 	rids    []storage.RID
 	col     *colstore.File
+}
+
+// pageIDs returns every device page the store's structure occupies.
+func (st *store) pageIDs() []storage.PageID {
+	switch st.backing {
+	case BackingRow:
+		return st.heap.Pages()
+	case BackingTransposed:
+		return st.col.PageIDs()
+	}
+	return nil
 }
 
 // AttachStore materializes the view's current contents into a storage
@@ -50,8 +64,20 @@ type store struct {
 // RowAt calls are serviced (and charged) through it, and updates write
 // through. Attaching replaces any previous store.
 func (v *View) AttachStore(b Backing, cost storage.CostModel, poolFrames int) error {
+	return v.AttachStoreDevice(b, storage.NewMemDevice(cost), poolFrames)
+}
+
+// AttachStoreDevice is AttachStore over a caller-supplied device — the
+// injection point for fault-wrapped or file-backed devices. The device
+// should be empty; the view's structure is written from page zero up.
+func (v *View) AttachStoreDevice(b Backing, dev storage.Device, poolFrames int) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	return v.attachLocked(b, dev, poolFrames)
+}
+
+// attachLocked does the attach with v.mu held (shared with RecoverStore).
+func (v *View) attachLocked(b Backing, dev storage.Device, poolFrames int) error {
 	if b == BackingMemory {
 		v.store = nil
 		return nil
@@ -59,9 +85,8 @@ func (v *View) AttachStore(b Backing, cost storage.CostModel, poolFrames int) er
 	if poolFrames < 4 {
 		poolFrames = 4
 	}
-	dev := storage.NewMemDevice(cost)
 	pool := storage.NewBufferPool(dev, poolFrames)
-	st := &store{backing: b, dev: dev}
+	st := &store{backing: b, dev: dev, pool: pool, frames: poolFrames}
 	switch b {
 	case BackingRow:
 		heap := storage.NewHeapFile(pool, v.data.Schema())
@@ -125,6 +150,112 @@ func (v *View) StoreStats() (storage.Stats, error) {
 		return storage.Stats{}, fmt.Errorf("view %s: no store attached", v.name)
 	}
 	return v.store.dev.Stats(), nil
+}
+
+// StoreRetryStats returns the attached buffer pool's retry accounting —
+// how many transient device errors were absorbed, recovered, or given
+// up on while servicing this view.
+func (v *View) StoreRetryStats() (storage.RetryStats, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.store == nil {
+		return storage.RetryStats{}, fmt.Errorf("view %s: no store attached", v.name)
+	}
+	return v.store.pool.RetryStats(), nil
+}
+
+// StoreDevice exposes the attached device (nil when memory-backed), so
+// callers can reach wrapper-specific state such as fault counters.
+func (v *View) StoreDevice() storage.Device {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.store == nil {
+		return nil
+	}
+	return v.store.dev
+}
+
+// RecoverReport accounts for one store verification or recovery pass.
+type RecoverReport struct {
+	Backing      Backing
+	PagesChecked int
+	CorruptPages int
+	Rebuilt      bool // the store was rebuilt from the in-memory view
+}
+
+func (r RecoverReport) String() string {
+	return fmt.Sprintf("backing=%s checked=%d corrupt=%d rebuilt=%v",
+		r.Backing, r.PagesChecked, r.CorruptPages, r.Rebuilt)
+}
+
+// VerifyStore checks every on-device page of the attached store against
+// its checksum without modifying anything. Transient read errors are
+// retried; corrupt pages are counted, not fatal. Note the device image
+// is what is verified: pages still dirty in the pool may be newer.
+func (v *View) VerifyStore() (RecoverReport, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.store == nil {
+		return RecoverReport{}, fmt.Errorf("view %s: no store attached", v.name)
+	}
+	return v.store.verify()
+}
+
+// RecoverStore verifies the attached store and, if any page is damaged,
+// rebuilds the whole structure from the in-memory data set — the view
+// itself is the copy of record, the store a rebuildable projection of
+// it, so recovery is re-materialization onto fresh (shadow) pages.
+func (v *View) RecoverStore() (RecoverReport, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.store == nil {
+		return RecoverReport{}, fmt.Errorf("view %s: no store attached", v.name)
+	}
+	st := v.store
+	rep, err := st.verify()
+	if err != nil {
+		return rep, err
+	}
+	if rep.CorruptPages == 0 {
+		return rep, nil
+	}
+	if err := v.attachLocked(st.backing, st.dev, st.frames); err != nil {
+		return rep, fmt.Errorf("view %s: store rebuild: %w", v.name, err)
+	}
+	rep.Rebuilt = true
+	return rep, nil
+}
+
+func (st *store) verify() (RecoverReport, error) {
+	rep := RecoverReport{Backing: st.backing}
+	buf := make([]byte, storage.PageSize)
+	for _, id := range st.pageIDs() {
+		rep.PagesChecked++
+		if err := st.readVerified(id, buf); err != nil {
+			if errors.Is(err, storage.ErrCorrupt) {
+				rep.CorruptPages++
+				continue
+			}
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// readVerified reads one raw page image and checks its checksum,
+// retrying transient device errors a few times. It bypasses the pool on
+// purpose: a cached frame would mask on-device damage.
+func (st *store) readVerified(id storage.PageID, buf []byte) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if err = st.dev.ReadPage(id, buf); err == nil {
+			return storage.VerifyPageBuf(buf, id)
+		}
+		if !errors.Is(err, storage.ErrTransient) {
+			return err
+		}
+	}
+	return err
 }
 
 // readStoreColumn services a column read through the store, charging its
