@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench experiments fmt
+.PHONY: build test race check bench experiments fmt vet-obs
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,13 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-check: build race
+# Observability lint: metric primitives (sync/atomic, expvar) are
+# confined to internal/obs; everything else instruments through the
+# registry so `statdb stats` sees every number.
+vet-obs:
+	sh scripts/vet_obs.sh
+
+check: build vet-obs race
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -58,6 +58,7 @@ func BenchmarkE11DatabaseMachine(b *testing.B)  { benchExperiment(b, bench.E11Da
 func BenchmarkE12ViewBacking(b *testing.B)      { benchExperiment(b, bench.E12ViewBacking) }
 func BenchmarkE13ParallelEngine(b *testing.B)   { benchExperiment(b, bench.E13ParallelEngine) }
 func BenchmarkE14RecoveryCost(b *testing.B)     { benchExperiment(b, bench.E14RecoveryCost) }
+func BenchmarkE15ObsOverhead(b *testing.B)      { benchExperiment(b, bench.E15ObsOverhead) }
 func BenchmarkAblationClustering(b *testing.B)  { benchExperiment(b, bench.AblationClustering) }
 func BenchmarkAblationWindowWidth(b *testing.B) { benchExperiment(b, bench.AblationWindowWidth) }
 func BenchmarkAblationAutoReorg(b *testing.B)   { benchExperiment(b, bench.AblationAutoReorg) }

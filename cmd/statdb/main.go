@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	statdb [-analyst NAME] [-scale N] [-db DIR] [-e "command"]...
+//	statdb [-analyst NAME] [-scale N] [-db DIR] [-e "command"]... [command...]
 //
-// With -e flags the given commands run non-interactively; otherwise a
-// REPL starts on stdin. With -db the catalog in DIR is loaded on start
-// (if present) and the session state is saved back on exit, so analyses
-// persist across sessions.
+// With -e flags (or positional arguments, joined into one statement —
+// e.g. `statdb stats`) the given commands run non-interactively;
+// otherwise a REPL starts on stdin. With -db the catalog in DIR is
+// loaded on start (if present) and the session state is saved back on
+// exit, so analyses persist across sessions.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"path/filepath"
 
@@ -43,11 +45,20 @@ func main() {
 	var cmds commandList
 	flag.Var(&cmds, "e", "command to execute (repeatable); suppresses the REPL")
 	flag.Parse()
+	// Positional arguments form one statement (`statdb stats`,
+	// `statdb compute mean AGE on v`), appended after any -e commands.
+	if args := flag.Args(); len(args) > 0 {
+		cmds = append(cmds, joinArgs(args))
+	}
 
 	if err := run(*analyst, *scale, *db, cmds, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "statdb:", err)
 		os.Exit(1)
 	}
+}
+
+func joinArgs(args []string) string {
+	return strings.Join(args, " ")
 }
 
 func run(analyst string, scale int, dbDir string, cmds []string, in io.Reader, out io.Writer) error {

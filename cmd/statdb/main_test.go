@@ -75,3 +75,57 @@ func TestREPLPersistenceAcrossSessions(t *testing.T) {
 		t.Errorf("second session output: %q", s)
 	}
 }
+
+func TestStatsSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	err := run("tester", 1, "", []string{
+		"materialize v from figure1",
+		"compute mean POPULATION on v",
+		"stats", // what `statdb stats` runs after joinArgs
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"counter summary.misses 1",
+		"counter summary.hits 0",
+		"counter query.statements 3",
+		"counter view.column_scans 1",
+		"gauge exec.inflight 0",
+		"histogram summary.pass_ticks count=1",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestJoinArgs(t *testing.T) {
+	if got := joinArgs([]string{"compute", "mean", "AGE", "on", "v"}); got != "compute mean AGE on v" {
+		t.Errorf("joinArgs = %q", got)
+	}
+}
+
+func TestExplainSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	err := run("tester", 1, "", []string{
+		"materialize v from figure1",
+		"explain compute mean POPULATION on v",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"mean(POPULATION) =",
+		"query: self=0",
+		"view.compute [fn=mean attr=POPULATION]",
+		"fold [fn=mean engine=serial]",
+		"total charge =",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q:\n%s", want, s)
+		}
+	}
+}

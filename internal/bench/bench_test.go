@@ -299,6 +299,27 @@ func TestE13ShapeParallelSpeedup(t *testing.T) {
 	}
 }
 
+func TestE15ShapeOverheadSmall(t *testing.T) {
+	tab, err := E15ObsOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][3] != "baseline" {
+		t.Errorf("row 0 is not the baseline: %v", tab.Rows[0])
+	}
+	// Counter events per run are deterministic: 25 chunks + 1 run + 4
+	// workers spawned on the 102400-row column.
+	if tab.Rows[1][2] != "30" {
+		t.Errorf("instrumented fold recorded %s counter events/op, want 30", tab.Rows[1][2])
+	}
+	// The experiment's claim is <5%; the assertion leaves headroom for
+	// shared-CI timer noise while still catching a real per-row
+	// instrumentation regression (which would cost whole multiples).
+	if ov := cell(t, tab, 1, 3); ov > 10 {
+		t.Errorf("live-registry overhead %+.1f%%, want well under 10%%", ov)
+	}
+}
+
 func TestA1ShapeClusteredScan(t *testing.T) {
 	tab, err := AblationClustering()
 	if err != nil {

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"statdb/internal/exec"
+	"statdb/internal/obs"
+	"statdb/internal/stats"
+)
+
+// E15ObsOverhead measures what the observability layer costs on the hot
+// path. The workload is E13's whole-column Summarize over the
+// 102400-row SALARY column with 4 workers — the case where per-chunk
+// instrumentation (counter bumps on dispatch, the inflight gauge in
+// every worker) would show up if it cost anything. The baseline pool
+// carries no registry, which makes every instrument a nil no-op; the
+// instrumented pool carries a live registry. Two microbenchmark rows
+// pin the per-event costs that explain the pool-level result.
+//
+// Unlike the tick-based experiments this one is wall clock, so the
+// exact numbers vary by machine; the claim is the ratio, not the
+// absolute times.
+func E15ObsOverhead() (*Table, error) {
+	t := &Table{
+		ID:     "E15",
+		Title:  "Observability overhead: live registry vs no-op on an E13-style column fold (wall clock)",
+		Claim:  "instrumentation charges per chunk and per run, never per row, so a live registry adds <5% to a whole-column fold",
+		Header: []string{"configuration", "ns/op", "counter events/op", "overhead"},
+	}
+	const n, workers = 102400, 4
+	xs, valid, err := salaryColumn(n)
+	if err != nil {
+		return nil, err
+	}
+	fold := func(p *exec.Pool) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := stats.SummarizeChunks(p, xs, valid, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	base := testing.Benchmark(fold(exec.New(workers)))
+
+	reg := obs.NewRegistry()
+	instr := testing.Benchmark(fold(exec.New(workers).WithMetrics(reg)))
+	// Counter events per op are deterministic: one per chunk dispatched,
+	// one per run, one per worker spawned. The registry accumulates
+	// across the benchmark's calibration rounds too, so divide by the
+	// runs counter rather than the final round's iteration count.
+	snap := reg.Snapshot()
+	var events int64
+	for _, v := range snap.Counters {
+		events += v
+	}
+	eventsPerOp := events / snap.Counters[obs.MExecRunsParallel]
+
+	overhead := 0.0
+	if b := base.NsPerOp(); b > 0 {
+		overhead = 100 * float64(instr.NsPerOp()-b) / float64(b)
+	}
+
+	t.AddRow("fold, no registry (no-op instruments)", base.NsPerOp(), 0, "baseline")
+	t.AddRow("fold, live registry", instr.NsPerOp(), eventsPerOp,
+		fmt.Sprintf("%+.1f%%", overhead))
+
+	// Per-event costs: a live Counter.Inc is one atomic add; a nil
+	// Counter.Inc is a predicted branch. Both are nanoseconds, which is
+	// why the pool-level overhead above is noise-level.
+	live := reg.Counter("e15.micro")
+	liveBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			live.Inc()
+		}
+	})
+	var nilCounter *obs.Counter
+	nilBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nilCounter.Inc()
+		}
+	})
+	t.AddRow("Counter.Inc, live", liveBench.NsPerOp(), 1, "-")
+	t.AddRow("Counter.Inc, nil no-op", nilBench.NsPerOp(), 0, "-")
+
+	t.Finding = fmt.Sprintf(
+		"the live registry adds %+.1f%% to the 102400-row fold (%d counter events per run against %d rows of fold work); "+
+			"a live Counter.Inc costs ~%dns and a nil one ~%dns, so instrumentation stays per-chunk noise and the "+
+			"<5%% budget holds — which is why the registry is always on rather than build-tagged",
+		overhead, eventsPerOp, n, liveBench.NsPerOp(), nilBench.NsPerOp())
+	return t, nil
+}

@@ -92,6 +92,7 @@ func All() []Experiment {
 		{"E12", E12ViewBacking},
 		{"E13", E13ParallelEngine},
 		{"E14", E14RecoveryCost},
+		{"E15", E15ObsOverhead},
 		{"A1", AblationClustering},
 		{"A2", AblationWindowWidth},
 		{"A3", AblationAutoReorg},

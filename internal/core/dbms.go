@@ -14,6 +14,7 @@ import (
 
 	"statdb/internal/dataset"
 	"statdb/internal/meta"
+	"statdb/internal/obs"
 	"statdb/internal/rules"
 	"statdb/internal/storage"
 	"statdb/internal/tape"
@@ -31,6 +32,11 @@ type DBMS struct {
 	// parallelism sizes the execution pools of views built through this
 	// DBMS: materialization pipelines and Summary Database recomputes.
 	parallelism int
+	// metrics is the system-wide registry every view built through this
+	// DBMS reports into; tracer collects per-query span trees. Storage
+	// counters live in per-pool registries and are merged by Metrics().
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 }
 
 // New creates a DBMS over an empty tape archive with default cost models.
@@ -40,6 +46,10 @@ func New() *DBMS {
 
 // NewWithArchive creates a DBMS over an existing raw archive.
 func NewWithArchive(a *tape.Archive) *DBMS {
+	reg := obs.NewRegistry()
+	// Pre-register the canonical families so exported snapshots have the
+	// same shape on every machine, regardless of which subsystems ran.
+	obs.RegisterBaseline(reg)
 	return &DBMS{
 		archive:     a,
 		mdb:         rules.NewManagementDB(),
@@ -47,7 +57,29 @@ func NewWithArchive(a *tape.Archive) *DBMS {
 		views:       make(map[string]*view.View),
 		analysts:    make(map[string]*Analyst),
 		parallelism: runtime.GOMAXPROCS(0),
+		metrics:     reg,
+		tracer:      obs.NewTracer(),
 	}
+}
+
+// MetricsRegistry exposes the DBMS-level registry (the one views report
+// into). Most callers want Metrics(), the merged snapshot.
+func (d *DBMS) MetricsRegistry() *obs.Registry { return d.metrics }
+
+// Tracer exposes the system tracer collecting per-query span trees.
+func (d *DBMS) Tracer() *obs.Tracer { return d.tracer }
+
+// Metrics returns the system-wide snapshot: the DBMS registry merged
+// with every stored view's buffer-pool registry, so storage.* families
+// aggregate across pools while each pool keeps exact local accounting.
+func (d *DBMS) Metrics() obs.Snapshot {
+	s := d.metrics.Snapshot()
+	for _, v := range d.viewsSnapshot() {
+		if reg := v.StoreMetrics(); reg != nil {
+			s.Merge(reg.Snapshot())
+		}
+	}
+	return s
 }
 
 // SetParallelism sets the worker count views built from here on use for
@@ -245,6 +277,12 @@ func (m *MaterializeBuilder) BuildWithOptions(name string, opts view.Options) (*
 	if opts.Parallelism == 0 {
 		opts.Parallelism = m.analyst.dbms.Parallelism()
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = m.analyst.dbms.metrics
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = m.analyst.dbms.tracer
+	}
 	v, err := m.builder.WithOptions(opts).Build(name, m.analyst.name)
 	if err != nil {
 		return nil, err
@@ -259,7 +297,11 @@ func (m *MaterializeBuilder) BuildWithOptions(name string, opts view.Options) (*
 func (a *Analyst) AdoptDataset(name string, ds *dataset.Dataset, source string, ops []string) (*view.View, error) {
 	v, err := view.New(ds, a.dbms.mdb, rules.ViewDef{
 		Name: name, Analyst: a.name, Source: source, Ops: ops,
-	}, view.Options{Parallelism: a.dbms.Parallelism()})
+	}, view.Options{
+		Parallelism: a.dbms.Parallelism(),
+		Metrics:     a.dbms.metrics,
+		Tracer:      a.dbms.tracer,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"statdb/internal/obs"
 )
 
 // DefaultChunk is the default number of rows folded per task. Large
@@ -58,6 +60,17 @@ func Chunks(n, size int) []Range {
 // use.
 type Pool struct {
 	workers int
+	met     poolMetrics
+}
+
+// poolMetrics caches the pool's instrument handles. The zero value
+// (nil handles) no-ops, so an unwired pool pays only nil checks.
+type poolMetrics struct {
+	chunks      *obs.Counter
+	runParallel *obs.Counter
+	runSerial   *obs.Counter
+	spawned     *obs.Counter
+	inflight    *obs.Gauge
 }
 
 // New returns a pool of the given width. workers <= 0 selects
@@ -74,6 +87,20 @@ func Serial() *Pool { return &Pool{workers: 1} }
 
 // Workers returns the pool width.
 func (p *Pool) Workers() int { return p.workers }
+
+// WithMetrics wires the pool's scheduling counters (exec.* families)
+// into reg and returns the pool for chaining. A nil registry leaves the
+// pool uninstrumented.
+func (p *Pool) WithMetrics(reg *obs.Registry) *Pool {
+	p.met = poolMetrics{
+		chunks:      reg.Counter(obs.MExecChunks),
+		runParallel: reg.Counter(obs.MExecRunsParallel),
+		runSerial:   reg.Counter(obs.MExecRunsSerial),
+		spawned:     reg.Counter(obs.MExecWorkersSpawned),
+		inflight:    reg.Gauge(obs.MExecInflight),
+	}
+	return p
+}
 
 // Run partitions [0, n) into fixed-size chunks and invokes fn once per
 // chunk, passing the chunk index and its range. fn must be safe to call
@@ -99,7 +126,9 @@ func (p *Pool) RunRanges(ranges []Range, fn func(c int, r Range) error) error {
 	if workers > len(ranges) {
 		workers = len(ranges)
 	}
+	p.met.chunks.Add(int64(len(ranges)))
 	if workers <= 1 {
+		p.met.runSerial.Inc()
 		for c, r := range ranges {
 			if err := fn(c, r); err != nil {
 				return err
@@ -107,6 +136,8 @@ func (p *Pool) RunRanges(ranges []Range, fn func(c int, r Range) error) error {
 		}
 		return nil
 	}
+	p.met.runParallel.Inc()
+	p.met.spawned.Add(int64(workers))
 	errs := make([]error, len(ranges))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -114,6 +145,8 @@ func (p *Pool) RunRanges(ranges []Range, fn func(c int, r Range) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			p.met.inflight.Add(1)
+			defer p.met.inflight.Add(-1)
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= len(ranges) {

@@ -13,6 +13,8 @@ package medwin
 import (
 	"fmt"
 	"sort"
+
+	"statdb/internal/obs"
 )
 
 // Window maintains an order statistic (by default the median) of a
@@ -27,6 +29,9 @@ type Window struct {
 	window   []float64 // sorted consecutive order statistics
 	rebuilds int       // completed regeneration passes
 	slides   int       // updates absorbed without regeneration
+	// Optional system-wide counters mirroring slides/rebuilds
+	// (medwin.* families); nil no-ops.
+	cSlides, cRebuilds *obs.Counter
 	// degenerate marks a window that emptied while values remain: the
 	// stored order statistics are gone and only N is trustworthy until
 	// the next Rebuild.
@@ -111,9 +116,16 @@ func (w *Window) Value() (float64, error) {
 	return a + frac*(b-a), nil
 }
 
+// SetCounters mirrors the window's slide/rebuild activity into
+// system-wide counters (the obs medwin.* families). Either may be nil.
+func (w *Window) SetCounters(slides, rebuilds *obs.Counter) {
+	w.cSlides, w.cRebuilds = slides, rebuilds
+}
+
 // Insert records a new value. O(log window) plus a bounded shift.
 func (w *Window) Insert(x float64) {
 	w.slides++
+	w.cSlides.Inc()
 	if w.degenerate {
 		w.above++ // only N matters until the rebuild
 		return
@@ -150,6 +162,7 @@ func (w *Window) Delete(x float64) error {
 		return fmt.Errorf("medwin: delete from empty window")
 	}
 	w.slides++
+	w.cSlides.Inc()
 	if !w.degenerate && len(w.window) > 0 {
 		i := sort.SearchFloat64s(w.window, x)
 		if i < len(w.window) && w.window[i] == x {
@@ -218,6 +231,7 @@ func (w *Window) Rebuild(xs []float64, valid []bool) {
 	if n == 0 {
 		w.below, w.above, w.window = 0, 0, nil
 		w.rebuilds++
+		w.cRebuilds.Inc()
 		return
 	}
 	lo, hi := w.targetIdx(n)
@@ -239,4 +253,5 @@ func (w *Window) Rebuild(xs []float64, valid []bool) {
 	w.above = n - end
 	w.window = append([]float64(nil), vals[start:end]...)
 	w.rebuilds++
+	w.cRebuilds.Inc()
 }

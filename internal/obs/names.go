@@ -1,0 +1,92 @@
+package obs
+
+// Canonical metric names. Every layer registers its instruments under
+// these dotted names so snapshots merge into one coherent ledger and the
+// `statdb stats` text format is stable. DESIGN.md's Observability
+// section maps each family to the paper concept it measures.
+const (
+	// Execution engine (internal/exec).
+	MExecChunks         = "exec.chunks"          // chunks scheduled onto the pool
+	MExecRunsParallel   = "exec.runs.parallel"   // Run calls that fanned out
+	MExecRunsSerial     = "exec.runs.serial"     // Run calls executed inline
+	MExecWorkersSpawned = "exec.workers.spawned" // worker goroutines dispatched
+	MExecInflight       = "exec.inflight"        // gauge: workers currently running
+
+	// Median/quantile windows (internal/medwin).
+	MMedwinSlides   = "medwin.slides"   // updates absorbed by sliding the window
+	MMedwinRebuilds = "medwin.rebuilds" // full regeneration passes (Section 4.2)
+
+	// Query layer (internal/query).
+	MQueryStatements = "query.statements" // statements parsed and executed
+	MQueryErrors     = "query.errors"     // statements that failed
+
+	// Storage layer (internal/storage). Each buffer pool keeps these in
+	// its own registry; core.DBMS merges them.
+	MStoragePoolHits        = "storage.pool.hits"
+	MStoragePoolMisses      = "storage.pool.misses"
+	MStoragePoolEvictions   = "storage.pool.evictions"
+	MStoragePoolEvictDirty  = "storage.pool.evict_dirty"
+	MStoragePoolEvictFailed = "storage.pool.evict_write_failed"
+	MStoragePageReads       = "storage.page.reads"
+	MStoragePageWrites      = "storage.page.writes"
+	MStorageChecksumFailed  = "storage.page.checksum_failed"
+	MStorageRetryAttempts   = "storage.retry.attempts"
+	MStorageRetryRecovered  = "storage.retry.recovered"
+	MStorageRetryExhausted  = "storage.retry.exhausted"
+	MStorageRetryBackoff    = "storage.retry.backoff_ticks"
+	MStorageFlushPages      = "storage.flush.pages"
+	MStorageFlushFailed     = "storage.flush.failed"
+
+	// Summary Database (internal/summary).
+	MSummaryHits              = "summary.hits"
+	MSummaryMisses            = "summary.misses"
+	MSummaryStaleRefill       = "summary.stale_refill"
+	MSummaryIncremental       = "summary.incremental"
+	MSummarySlides            = "summary.slides"
+	MSummaryRebuilds          = "summary.rebuilds"
+	MSummaryRecomputes        = "summary.recomputes"
+	MSummaryPasses            = "summary.passes"
+	MSummaryRecomputeSerial   = "summary.recompute.serial"   // cost model chose the serial fold
+	MSummaryRecomputeParallel = "summary.recompute.parallel" // cost model chose the pool
+	MSummaryPassTicks         = "summary.pass_ticks"         // histogram: fold cost per recompute
+
+	// View layer (internal/view).
+	MViewColumnScans = "view.column_scans"
+	MViewRowReads    = "view.row_reads"
+)
+
+// PassTicksBounds are the fixed bucket bounds of the summary.pass_ticks
+// histogram (virtual ticks per whole-column recompute).
+func PassTicksBounds() []int64 { return []int64{1_000, 10_000, 100_000, 1_000_000} }
+
+// baselineCounters lists every canonical counter, so a fresh registry
+// exports the full (all-zero) family set and the text format's shape
+// does not depend on which subsystems happened to run.
+var baselineCounters = []string{
+	MExecChunks, MExecRunsParallel, MExecRunsSerial, MExecWorkersSpawned,
+	MMedwinSlides, MMedwinRebuilds,
+	MQueryStatements, MQueryErrors,
+	MStoragePoolHits, MStoragePoolMisses, MStoragePoolEvictions,
+	MStoragePoolEvictDirty, MStoragePoolEvictFailed,
+	MStoragePageReads, MStoragePageWrites, MStorageChecksumFailed,
+	MStorageRetryAttempts, MStorageRetryRecovered, MStorageRetryExhausted,
+	MStorageRetryBackoff, MStorageFlushPages, MStorageFlushFailed,
+	MSummaryHits, MSummaryMisses, MSummaryStaleRefill, MSummaryIncremental,
+	MSummarySlides, MSummaryRebuilds, MSummaryRecomputes, MSummaryPasses,
+	MSummaryRecomputeSerial, MSummaryRecomputeParallel,
+	MViewColumnScans, MViewRowReads,
+}
+
+// RegisterBaseline pre-registers the canonical metric families in r, so
+// exports have a machine-independent shape: a counter that never fired
+// still prints as 0 instead of being absent.
+func RegisterBaseline(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, name := range baselineCounters {
+		r.Counter(name)
+	}
+	r.Gauge(MExecInflight)
+	r.Histogram(MSummaryPassTicks, PassTicksBounds())
+}

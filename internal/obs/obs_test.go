@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Error("Counter not get-or-create")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	h := r.Histogram("a.hist", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	hv := r.Snapshot().Histograms["a.hist"]
+	if hv.Count != 4 || hv.Sum != 1022 {
+		t.Errorf("hist count=%d sum=%d, want 4/1022", hv.Count, hv.Sum)
+	}
+	want := []int64{2, 1, 1}
+	for i, n := range want {
+		if hv.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, hv.Counts[i], n)
+		}
+	}
+}
+
+func TestNilHandlesNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter counted")
+	}
+	g := r.Gauge("x")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge moved")
+	}
+	h := r.Histogram("x", []int64{1})
+	h.Observe(10)
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var tr *Tracer
+	sp := tr.Begin("q")
+	sp.Charge(5)
+	sp.SetAttr("k", "v")
+	sp.End()
+	tr.Charge(1)
+	if sp.Total() != 0 || len(tr.Recent()) != 0 {
+		t.Error("nil tracer recorded")
+	}
+}
+
+func TestSnapshotMergeAndText(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("c.shared").Add(2)
+	a.Counter("c.only_a").Add(1)
+	a.Gauge("g").Set(3)
+	a.Histogram("h", []int64{10}).Observe(5)
+
+	b := NewRegistry()
+	b.Counter("c.shared").Add(5)
+	b.Histogram("h", []int64{10}).Observe(50)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Counters["c.shared"] != 7 || s.Counters["c.only_a"] != 1 {
+		t.Errorf("merged counters: %v", s.Counters)
+	}
+	hv := s.Histograms["h"]
+	if hv.Count != 2 || hv.Sum != 55 || hv.Counts[0] != 1 || hv.Counts[1] != 1 {
+		t.Errorf("merged histogram: %+v", hv)
+	}
+
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "counter c.only_a 1\n" +
+		"counter c.shared 7\n" +
+		"gauge g 3\n" +
+		"histogram h count=2 sum=55 le10=1 inf=1\n"
+	if sb.String() != want {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestBaselineShapeIsStable(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	RegisterBaseline(a)
+	RegisterBaseline(b)
+	// One registry does extra work that only touches baseline names.
+	b.Counter(MSummaryHits).Inc()
+	var sa, sbuf strings.Builder
+	if err := a.Snapshot().WriteText(&sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteText(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	la := strings.Split(sa.String(), "\n")
+	lb := strings.Split(sbuf.String(), "\n")
+	if len(la) != len(lb) {
+		t.Fatalf("baseline shape differs: %d vs %d lines", len(la), len(lb))
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines while
+// a reader snapshots it; run under -race this is the data-race proof for
+// the registry itself (the exec-pool variant lives in internal/exec).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer.count")
+			g := r.Gauge("hammer.gauge")
+			h := r.Histogram("hammer.hist", []int64{8, 64})
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	s := r.Snapshot()
+	if got := s.Counters["hammer.count"]; got != writers*perWriter {
+		t.Errorf("count = %d, want %d", got, writers*perWriter)
+	}
+	if got := s.Gauges["hammer.gauge"]; got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := s.Histograms["hammer.hist"].Count; got != writers*perWriter {
+		t.Errorf("hist count = %d, want %d", got, writers*perWriter)
+	}
+}

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Attr is one key/value annotation on a span. Attribute order is
+// preserved, so renderings are deterministic.
+type Attr struct {
+	Key, Value string
+}
+
+// A builds an attribute.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// AI builds an integer-valued attribute.
+func AI(key string, v int64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", v)} }
+
+// Span is one node of a trace tree. Spans carry an explicit cost-model
+// charge in virtual ticks (never wall time), so a rendered tree is the
+// EXPLAIN-style account of where a query's budget went and is stable
+// across machines. Spans are created through a Tracer and mutated only
+// under its lock; a nil Span no-ops every method.
+type Span struct {
+	t        *Tracer
+	name     string
+	attrs    []Attr
+	self     int64 // ticks charged directly to this span
+	children []*Span
+	parent   *Span
+	start    int64 // tracer sequence number at Begin
+	end      int64 // tracer sequence number at End (0 while open)
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr appends (or replaces) an attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Attrs returns a copy of the span's attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Charge adds n virtual ticks to the span's own cost.
+func (s *Span) Charge(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.t.mu.Lock()
+	s.self += n
+	s.t.mu.Unlock()
+}
+
+// Self returns the ticks charged directly to this span.
+func (s *Span) Self() int64 {
+	if s == nil {
+		return 0
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.self
+}
+
+// Children returns a copy of the child list.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Total returns the span's own charge plus every descendant's — the
+// invariant the EXPLAIN report rests on: a parent's total is exactly the
+// sum of the self charges in its subtree.
+func (s *Span) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.total()
+}
+
+func (s *Span) total() int64 {
+	n := s.self
+	for _, c := range s.children {
+		n += c.total()
+	}
+	return n
+}
+
+// End closes the span, popping it (and any still-open descendants) off
+// the tracer's stack. Ending a root span delivers the finished tree to
+// the tracer's ring and sink.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.end(s)
+}
+
+// Sink receives completed root spans.
+type Sink interface {
+	Emit(root *Span)
+}
+
+// RingSink keeps the last N completed roots in memory — the test sink.
+type RingSink struct {
+	mu    sync.Mutex
+	cap   int
+	roots []*Span
+}
+
+// NewRingSink creates a ring keeping the n most recent roots.
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{cap: n}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(root *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.roots = append(r.roots, root)
+	if len(r.roots) > r.cap {
+		r.roots = append([]*Span(nil), r.roots[len(r.roots)-r.cap:]...)
+	}
+}
+
+// Roots returns the retained roots, oldest first.
+func (r *RingSink) Roots() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Span(nil), r.roots...)
+}
+
+// TextSink renders each completed root as a span tree to W — the
+// CLI-style exporter.
+type TextSink struct {
+	W io.Writer
+}
+
+// Emit implements Sink.
+func (t TextSink) Emit(root *Span) { _ = WriteTree(t.W, root) }
+
+// Tracer builds span trees. Begin pushes onto an internal stack, so
+// nesting follows call structure without threading span handles through
+// every layer; End pops. The tracer is mutex-guarded and safe under the
+// race detector, but the stack discipline assumes queries are issued
+// one at a time per tracer (the executor model) — spans begun from
+// concurrently running queries on one tracer attach to whichever span
+// is innermost, which degrades attribution, never safety. Parallel
+// chunk workers inside one query charge the current span rather than
+// opening their own, so the engine's fan-out needs no per-worker spans.
+//
+// A nil Tracer hands out nil spans: tracing disabled.
+type Tracer struct {
+	mu    sync.Mutex
+	seq   int64
+	stack []*Span
+	ring  *RingSink
+	sink  Sink
+}
+
+// NewTracer creates a tracer retaining the 16 most recent root trees.
+func NewTracer() *Tracer {
+	return &Tracer{ring: NewRingSink(16)}
+}
+
+// SetSink attaches an additional sink receiving every completed root.
+func (t *Tracer) SetSink(s Sink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = s
+}
+
+// Begin opens a span as a child of the innermost open span (or as a new
+// root) and returns it. The caller must End it.
+func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	s := &Span{t: t, name: name, attrs: attrs, start: t.seq}
+	if n := len(t.stack); n > 0 {
+		s.parent = t.stack[n-1]
+		s.parent.children = append(s.parent.children, s)
+	}
+	t.stack = append(t.stack, s)
+	return s
+}
+
+// Charge adds n ticks to the innermost open span; it is dropped when no
+// span is open. Layers that do not hold a span handle (the view's column
+// reader, for instance) charge through this.
+func (t *Tracer) Charge(n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		return
+	}
+	t.stack[len(t.stack)-1].self += n
+}
+
+// end closes s; used by Span.End.
+func (t *Tracer) end(s *Span) {
+	t.mu.Lock()
+	var emit *Span
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		top := t.stack[i]
+		t.seq++
+		top.end = t.seq
+		t.stack = t.stack[:i]
+		if top == s {
+			if top.parent == nil {
+				emit = top
+			}
+			break
+		}
+	}
+	sink := t.sink
+	ring := t.ring
+	t.mu.Unlock()
+	if emit == nil {
+		return
+	}
+	if ring != nil {
+		ring.Emit(emit)
+	}
+	if sink != nil {
+		sink.Emit(emit)
+	}
+}
+
+// Recent returns the most recently completed root trees, oldest first.
+func (t *Tracer) Recent() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.ring.Roots()
+}
+
+// WriteTree renders a completed span tree as indented text with each
+// node's own charge and cumulative subtree total, then the tree total —
+// the EXPLAIN-style profile:
+//
+//	query: self=0 total=694
+//	  view.compute [fn=mean attr=SALARY]: self=0 total=694
+//	    summary.scalar [fn=mean attr=SALARY outcome=miss]: self=0 total=694
+//	      scan [rows=10240]: self=330 total=330
+//	      fold [fn=mean engine=parallel]: self=364 total=364
+//	total charge = 694 ticks
+func WriteTree(w io.Writer, root *Span) error {
+	if root == nil {
+		_, err := fmt.Fprintln(w, "(no trace)")
+		return err
+	}
+	root.t.mu.Lock()
+	defer root.t.mu.Unlock()
+	if err := writeSpan(w, root, 0); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "total charge = %d ticks\n", root.total())
+	return err
+}
+
+func writeSpan(w io.Writer, s *Span, depth int) error {
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.name)
+	if len(s.attrs) > 0 {
+		b.WriteString(" [")
+		for i, a := range s.attrs {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(a.Key)
+			b.WriteByte('=')
+			b.WriteString(a.Value)
+		}
+		b.WriteByte(']')
+	}
+	fmt.Fprintf(&b, ": self=%d total=%d", s.self, s.total())
+	if _, err := fmt.Fprintln(w, b.String()); err != nil {
+		return err
+	}
+	for _, c := range s.children {
+		if err := writeSpan(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

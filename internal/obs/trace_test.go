@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeChargesSum(t *testing.T) {
+	tr := NewTracer()
+	q := tr.Begin("query", A("stmt", "compute"))
+	q.Charge(3)
+	scan := tr.Begin("scan")
+	scan.Charge(40)
+	scan.End()
+	fold := tr.Begin("fold", A("engine", "serial"))
+	fold.Charge(7)
+	inner := tr.Begin("merge")
+	inner.Charge(2)
+	inner.End()
+	fold.End()
+	q.End()
+
+	if got, want := q.Total(), int64(3+40+7+2); got != want {
+		t.Errorf("total = %d, want %d", got, want)
+	}
+	// The invariant the EXPLAIN report rests on: the root total equals
+	// the sum of every node's self charge.
+	var sum int64
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		sum += s.Self()
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(q)
+	if sum != q.Total() {
+		t.Errorf("self sum %d != root total %d", sum, q.Total())
+	}
+	roots := tr.Recent()
+	if len(roots) != 1 || roots[0] != q {
+		t.Errorf("ring roots = %v", roots)
+	}
+}
+
+func TestWriteTreeRendering(t *testing.T) {
+	tr := NewTracer()
+	q := tr.Begin("query")
+	s := tr.Begin("scan", AI("rows", 8))
+	s.Charge(16)
+	s.End()
+	f := tr.Begin("fold", A("engine", "serial"))
+	f.Charge(8)
+	f.End()
+	q.End()
+
+	var b strings.Builder
+	if err := WriteTree(&b, q); err != nil {
+		t.Fatal(err)
+	}
+	want := "query: self=0 total=24\n" +
+		"  scan [rows=8]: self=16 total=16\n" +
+		"  fold [engine=serial]: self=8 total=8\n" +
+		"total charge = 24 ticks\n"
+	if b.String() != want {
+		t.Errorf("tree:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestTracerChargeInnermost(t *testing.T) {
+	tr := NewTracer()
+	tr.Charge(99) // no open span: dropped
+	a := tr.Begin("a")
+	b := tr.Begin("b")
+	tr.Charge(5)
+	b.End()
+	tr.Charge(2)
+	a.End()
+	if got := b.Self(); got != 5 {
+		t.Errorf("b self = %d, want 5", got)
+	}
+	if got := a.Self(); got != 2 {
+		t.Errorf("a self = %d, want 2", got)
+	}
+}
+
+func TestEndPopsAbandonedChildren(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Begin("root")
+	_ = tr.Begin("leaked") // never ended directly
+	root.End()
+	// The stack must be clean: a new Begin starts a fresh root.
+	next := tr.Begin("next")
+	next.End()
+	roots := tr.Recent()
+	if len(roots) != 2 || roots[1].Name() != "next" {
+		t.Fatalf("roots = %d", len(roots))
+	}
+}
+
+func TestSinksReceiveRoots(t *testing.T) {
+	tr := NewTracer()
+	ring := NewRingSink(2)
+	tr.SetSink(ring)
+	for i := 0; i < 3; i++ {
+		sp := tr.Begin("q")
+		sp.Charge(int64(i))
+		sp.End()
+	}
+	roots := ring.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("ring kept %d roots, want 2", len(roots))
+	}
+	if roots[0].Self() != 1 || roots[1].Self() != 2 {
+		t.Errorf("ring kept wrong roots: %d %d", roots[0].Self(), roots[1].Self())
+	}
+	var b strings.Builder
+	ts := TextSink{W: &b}
+	ts.Emit(roots[1])
+	if !strings.Contains(b.String(), "total charge = 2 ticks") {
+		t.Errorf("text sink output: %q", b.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"text/tabwriter"
 
 	"statdb/internal/core"
+	"statdb/internal/obs"
 )
 
 // Executor runs parsed commands against a DBMS on behalf of one analyst,
@@ -15,14 +16,27 @@ type Executor struct {
 	DBMS    *core.DBMS
 	Analyst *core.Analyst
 	Out     io.Writer
+	// Cached observability handles (query.* counters, system tracer).
+	cStatements *obs.Counter
+	cErrors     *obs.Counter
+	tracer      *obs.Tracer
 }
 
 // NewExecutor creates an executor for the named analyst.
 func NewExecutor(d *core.DBMS, analyst string, out io.Writer) *Executor {
-	return &Executor{DBMS: d, Analyst: d.Analyst(analyst), Out: out}
+	reg := d.MetricsRegistry()
+	return &Executor{
+		DBMS:        d,
+		Analyst:     d.Analyst(analyst),
+		Out:         out,
+		cStatements: reg.Counter(obs.MQueryStatements),
+		cErrors:     reg.Counter(obs.MQueryErrors),
+		tracer:      d.Tracer(),
+	}
 }
 
-// Run parses and executes one statement.
+// Run parses and executes one statement, counting it (and any failure)
+// in the query.* metric family.
 func (e *Executor) Run(input string) error {
 	input = strings.TrimSpace(input)
 	if input == "" {
@@ -30,9 +44,15 @@ func (e *Executor) Run(input string) error {
 	}
 	cmd, err := Parse(input)
 	if err != nil {
+		e.cErrors.Inc()
 		return err
 	}
-	return e.Exec(cmd)
+	e.cStatements.Inc()
+	if err := e.Exec(cmd); err != nil {
+		e.cErrors.Inc()
+		return err
+	}
+	return nil
 }
 
 const helpText = `commands:
@@ -58,11 +78,34 @@ const helpText = `commands:
   advice V                                    storage-layout recommendation
   import 'file.csv' as NAME                   CSV -> raw archive (schema inferred)
   export V to 'file.csv'                      view -> CSV
+  stats                                       dump system metrics (counters, gauges, histograms)
+  explain CMD                                 run CMD and print its cost-charged span tree
   help
 `
 
-// Exec executes a parsed command.
+// Exec executes a parsed command. Every command other than stats/explain
+// runs under a "query" root span, so its profile lands in the tracer's
+// ring; `explain` renders that tree instead of discarding it.
 func (e *Executor) Exec(cmd Command) error {
+	switch c := cmd.(type) {
+	case StatsCmd:
+		return e.DBMS.Metrics().WriteText(e.Out)
+	case ExplainCmd:
+		root := e.tracer.Begin("query")
+		err := e.exec(c.Inner)
+		root.End()
+		if err != nil {
+			return err
+		}
+		return obs.WriteTree(e.Out, root)
+	}
+	root := e.tracer.Begin("query")
+	defer root.End()
+	return e.exec(cmd)
+}
+
+// exec dispatches one parsed command inside the caller's span.
+func (e *Executor) exec(cmd Command) error {
 	if handled, err := e.execAnalysis(cmd); handled {
 		return err
 	}

@@ -64,6 +64,14 @@ type Show struct {
 	Limit int
 }
 
+// StatsCmd dumps the system-wide metrics snapshot in the stable text
+// format (counters, gauges, histograms sorted by name).
+type StatsCmd struct{}
+
+// ExplainCmd runs the wrapped statement and prints its EXPLAIN-style
+// profile: the span tree with each node's cost-model charge.
+type ExplainCmd struct{ Inner Command }
+
 func (Files) cmd()       {}
 func (Views) cmd()       {}
 func (Help) cmd()        {}
@@ -75,6 +83,8 @@ func (Undo) cmd()        {}
 func (HistoryCmd) cmd()  {}
 func (Publish) cmd()     {}
 func (Show) cmd()        {}
+func (StatsCmd) cmd()    {}
+func (ExplainCmd) cmd()  {}
 
 type parser struct {
 	toks []token
@@ -135,14 +145,30 @@ func Parse(input string) (Command, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	cmd, err := p.parseCommand()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// parseCommand parses one statement's keyword dispatch. Factored out of
+// Parse so `explain`/`profile` can recursively parse their wrapped
+// statement.
+func (p *parser) parseCommand() (Command, error) {
 	kw, ok := p.keyword("files", "views", "help", "materialize", "compute",
 		"summary", "update", "undo", "history", "publish", "show",
 		"histogram", "crosstab", "correlate", "regress", "sample",
-		"rollback", "advice", "import", "export", "save", "describe", "frequencies", "ttest")
+		"rollback", "advice", "import", "export", "save", "describe", "frequencies", "ttest",
+		"stats", "explain", "profile")
 	if !ok {
 		return nil, fmt.Errorf("query: unknown command %s (try 'help')", p.peek())
 	}
 	var cmd Command
+	var err error
 	switch kw {
 	case "files":
 		cmd = Files{}
@@ -218,11 +244,19 @@ func Parse(input string) (Command, error) {
 			v, err = p.expectWord("view name")
 		}
 		cmd = FrequenciesCmd{Attr: attr, View: v}
+	case "stats":
+		cmd = StatsCmd{}
+	case "explain", "profile":
+		var inner Command
+		inner, err = p.parseCommand()
+		if err == nil {
+			if _, nested := inner.(ExplainCmd); nested {
+				return nil, fmt.Errorf("query: explain cannot wrap another explain")
+			}
+			cmd = ExplainCmd{Inner: inner}
+		}
 	}
 	if err != nil {
-		return nil, err
-	}
-	if err := p.expectEOF(); err != nil {
 		return nil, err
 	}
 	return cmd, nil

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"statdb/internal/obs"
 )
 
 // BufferPool caches device pages in memory with LRU replacement.
@@ -36,10 +38,42 @@ type BufferPool struct {
 	capacity int
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recent
-	hits     int64
-	misses   int64
 	retry    RetryPolicy
-	rstats   RetryStats
+	// Metrics live in a per-pool obs registry under the canonical
+	// storage.* names, so per-pool accounting stays exact and pools roll
+	// up into a system-wide snapshot via Snapshot.Merge (core.DBMS does
+	// this). RetryStats() and HitRate() read the same counters.
+	reg *obs.Registry
+	met poolMetrics
+}
+
+// poolMetrics caches the pool's counter handles so hot paths never
+// resolve names under the registry lock.
+type poolMetrics struct {
+	hits, misses                        *obs.Counter
+	evictions, evictDirty, evictFailed  *obs.Counter
+	pageReads, pageWrites, checksumFail *obs.Counter
+	retries, recovered, exhausted       *obs.Counter
+	backoffTicks, flushPages, flushFail *obs.Counter
+}
+
+func newPoolMetrics(reg *obs.Registry) poolMetrics {
+	return poolMetrics{
+		hits:         reg.Counter(obs.MStoragePoolHits),
+		misses:       reg.Counter(obs.MStoragePoolMisses),
+		evictions:    reg.Counter(obs.MStoragePoolEvictions),
+		evictDirty:   reg.Counter(obs.MStoragePoolEvictDirty),
+		evictFailed:  reg.Counter(obs.MStoragePoolEvictFailed),
+		pageReads:    reg.Counter(obs.MStoragePageReads),
+		pageWrites:   reg.Counter(obs.MStoragePageWrites),
+		checksumFail: reg.Counter(obs.MStorageChecksumFailed),
+		retries:      reg.Counter(obs.MStorageRetryAttempts),
+		recovered:    reg.Counter(obs.MStorageRetryRecovered),
+		exhausted:    reg.Counter(obs.MStorageRetryExhausted),
+		backoffTicks: reg.Counter(obs.MStorageRetryBackoff),
+		flushPages:   reg.Counter(obs.MStorageFlushPages),
+		flushFail:    reg.Counter(obs.MStorageFlushFailed),
+	}
 }
 
 type frame struct {
@@ -62,6 +96,10 @@ type RetryPolicy struct {
 func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{MaxAttempts: 4, BackoffTicks: 8} }
 
 // RetryStats counts transient-error recovery activity.
+//
+// Deprecated for accumulation: the counts live in the pool's metrics
+// registry (storage.retry.* — see Metrics); this struct remains as the
+// snapshot type returned by the RetryStats compatibility accessor.
 type RetryStats struct {
 	Retries      int64 // individual retry attempts made
 	Recovered    int64 // operations that succeeded after >=1 retry
@@ -82,19 +120,27 @@ func (s RetryStats) String() string {
 		s.Retries, s.Recovered, s.Exhausted, s.BackoffTicks)
 }
 
-// NewBufferPool creates a pool of capacity pages over dev.
+// NewBufferPool creates a pool of capacity pages over dev. Every pool
+// carries its own metrics registry (see Metrics).
 func NewBufferPool(dev Device, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
+	reg := obs.NewRegistry()
 	return &BufferPool{
 		dev:      dev,
 		capacity: capacity,
 		frames:   make(map[PageID]*list.Element, capacity),
 		lru:      list.New(),
 		retry:    DefaultRetryPolicy(),
+		reg:      reg,
+		met:      newPoolMetrics(reg),
 	}
 }
+
+// Metrics exposes the pool's metrics registry (storage.* families).
+// Callers aggregating several pools merge the snapshots.
+func (bp *BufferPool) Metrics() *obs.Registry { return bp.reg }
 
 // SetRetryPolicy replaces the pool's transient-error retry policy.
 func (bp *BufferPool) SetRetryPolicy(p RetryPolicy) {
@@ -104,10 +150,15 @@ func (bp *BufferPool) SetRetryPolicy(p RetryPolicy) {
 }
 
 // RetryStats returns the accumulated transient-error recovery counters.
+// Compatibility accessor: the counts are read from the pool's metrics
+// registry, where withRetry now records them.
 func (bp *BufferPool) RetryStats() RetryStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.rstats
+	return RetryStats{
+		Retries:      bp.met.retries.Value(),
+		Recovered:    bp.met.recovered.Value(),
+		Exhausted:    bp.met.exhausted.Value(),
+		BackoffTicks: bp.met.backoffTicks.Value(),
+	}
 }
 
 // Device returns the device the pool is caching.
@@ -115,13 +166,12 @@ func (bp *BufferPool) Device() Device { return bp.dev }
 
 // HitRate returns the fraction of Fetch calls served from memory.
 func (bp *BufferPool) HitRate() float64 {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	total := bp.hits + bp.misses
+	hits, misses := bp.met.hits.Value(), bp.met.misses.Value()
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(bp.hits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
 // withRetry runs op, retrying while it fails with ErrTransient, up to
@@ -137,8 +187,8 @@ func (bp *BufferPool) withRetry(op func() error) error {
 	var err error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			bp.rstats.Retries++
-			bp.rstats.BackoffTicks += backoff
+			bp.met.retries.Inc()
+			bp.met.backoffTicks.Add(backoff)
 			if tc, ok := bp.dev.(TickCharger); ok {
 				tc.ChargeTicks(backoff)
 			}
@@ -147,7 +197,7 @@ func (bp *BufferPool) withRetry(op func() error) error {
 		err = op()
 		if err == nil {
 			if a > 0 {
-				bp.rstats.Recovered++
+				bp.met.recovered.Inc()
 			}
 			return nil
 		}
@@ -155,7 +205,7 @@ func (bp *BufferPool) withRetry(op func() error) error {
 			return err
 		}
 	}
-	bp.rstats.Exhausted++
+	bp.met.exhausted.Inc()
 	return err
 }
 
@@ -164,13 +214,22 @@ func (bp *BufferPool) readPage(id PageID, buf []byte) error {
 	if err := bp.withRetry(func() error { return bp.dev.ReadPage(id, buf) }); err != nil {
 		return err
 	}
-	return VerifyPageBuf(buf, id)
+	bp.met.pageReads.Inc()
+	if err := VerifyPageBuf(buf, id); err != nil {
+		bp.met.checksumFail.Inc()
+		return err
+	}
+	return nil
 }
 
 // writePage seals (version-2 images only) and writes buf with retry.
 func (bp *BufferPool) writePage(id PageID, buf []byte) error {
 	SealPage(buf)
-	return bp.withRetry(func() error { return bp.dev.WritePage(id, buf) })
+	if err := bp.withRetry(func() error { return bp.dev.WritePage(id, buf) }); err != nil {
+		return err
+	}
+	bp.met.pageWrites.Inc()
+	return nil
 }
 
 // Fetch pins page id and returns it. The caller must Unpin it. A page
@@ -180,13 +239,13 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if e, ok := bp.frames[id]; ok {
-		bp.hits++
+		bp.met.hits.Inc()
 		bp.lru.MoveToFront(e)
 		f := e.Value.(*frame)
 		f.pins++
 		return NewPage(f.buf), nil
 	}
-	bp.misses++
+	bp.met.misses.Inc()
 	if err := bp.evictIfFull(); err != nil {
 		return nil, err
 	}
@@ -234,10 +293,15 @@ func (bp *BufferPool) evictIfFull() error {
 			return fmt.Errorf("storage: buffer pool of %d frames has no unpinned page", bp.capacity)
 		}
 		if victim.dirty {
+			bp.met.evictDirty.Inc()
 			if err := bp.writePage(victim.id, victim.buf); err != nil {
+				// The frame stays resident and dirty; the metric records
+				// the page identity the error string reports.
+				bp.met.evictFailed.Inc()
 				return fmt.Errorf("storage: evict page %d: %w", victim.id, err)
 			}
 		}
+		bp.met.evictions.Inc()
 		bp.lru.Remove(elem)
 		delete(bp.frames, victim.id)
 	}
@@ -281,7 +345,10 @@ func (bp *BufferPool) MarkDirty(id PageID) error {
 // FlushAll writes every dirty buffered page back to the device. It
 // attempts all of them even when some fail; each failure is reported
 // with its page identity and joined into the returned error, and failed
-// pages stay dirty so a later FlushAll can retry them.
+// pages stay dirty so a later FlushAll can retry them. The same
+// outcomes land in the pool metrics: storage.flush.pages counts pages
+// written clean, storage.flush.failed counts pages left dirty — one
+// increment per joined error, so counters and error report agree.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -292,9 +359,11 @@ func (bp *BufferPool) FlushAll() error {
 			continue
 		}
 		if err := bp.writePage(f.id, f.buf); err != nil {
+			bp.met.flushFail.Inc()
 			errs = append(errs, fmt.Errorf("storage: flush page %d: %w", f.id, err))
 			continue
 		}
+		bp.met.flushPages.Inc()
 		f.dirty = false
 	}
 	return errors.Join(errs...)

@@ -10,6 +10,7 @@ import (
 	"statdb/internal/incr"
 	"statdb/internal/index"
 	"statdb/internal/medwin"
+	"statdb/internal/obs"
 	"statdb/internal/rules"
 	"statdb/internal/stats"
 )
@@ -93,6 +94,11 @@ type DB struct {
 	idx      *index.BTree // (attr..., fn) -> slot
 	entries  []*entry
 	counters Counters
+	// System-wide observability: met mirrors counters into a shared
+	// registry (summary.* families) and tracer carries the per-query
+	// span tree. Both no-op until SetMetrics/SetTracer wire them.
+	met    dbMetrics
+	tracer *obs.Tracer
 	// Execution engine for whole-column recomputations (SetExec); nil
 	// means serial.
 	pool  *exec.Pool
@@ -111,6 +117,47 @@ func (db *DB) SetPolicy(p Policy) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.policy = p
+}
+
+// dbMetrics caches registry handles mirroring Counters plus the engine
+// routing and pass-cost instruments. Nil handles (no SetMetrics) no-op.
+type dbMetrics struct {
+	hits, misses, staleRefill          *obs.Counter
+	incremental, slides, rebuilds      *obs.Counter
+	recomputes, passes                 *obs.Counter
+	recomputeSerial, recomputeParallel *obs.Counter
+	passTicks                          *obs.Histogram
+	medSlides, medRebuilds             *obs.Counter
+}
+
+// SetMetrics mirrors the cache's instrumentation into reg under the
+// summary.* (and medwin.*) canonical names. The local Counters struct
+// keeps working unchanged; the registry is the roll-up view.
+func (db *DB) SetMetrics(reg *obs.Registry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.met = dbMetrics{
+		hits:              reg.Counter(obs.MSummaryHits),
+		misses:            reg.Counter(obs.MSummaryMisses),
+		staleRefill:       reg.Counter(obs.MSummaryStaleRefill),
+		incremental:       reg.Counter(obs.MSummaryIncremental),
+		slides:            reg.Counter(obs.MSummarySlides),
+		rebuilds:          reg.Counter(obs.MSummaryRebuilds),
+		recomputes:        reg.Counter(obs.MSummaryRecomputes),
+		passes:            reg.Counter(obs.MSummaryPasses),
+		recomputeSerial:   reg.Counter(obs.MSummaryRecomputeSerial),
+		recomputeParallel: reg.Counter(obs.MSummaryRecomputeParallel),
+		passTicks:         reg.Histogram(obs.MSummaryPassTicks, obs.PassTicksBounds()),
+		medSlides:         reg.Counter(obs.MMedwinSlides),
+		medRebuilds:       reg.Counter(obs.MMedwinRebuilds),
+	}
+}
+
+// SetTracer attaches the tracer receiving scan/fold spans; nil disables.
+func (db *DB) SetTracer(tr *obs.Tracer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tracer = tr
 }
 
 // Counters returns a copy of the instrumentation counters.
@@ -194,11 +241,15 @@ func IsBuiltin(fn string) bool {
 func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	sp := db.tracer.Begin("summary.scalar", obs.A("fn", fn), obs.A("attr", attr))
+	defer sp.End()
 	key := entryKey(fn, []string{attr})
 	if slot, ok := db.idx.Get(key); ok {
 		e := db.entries[slot]
 		if e.fresh {
 			db.counters.Hits++
+			db.met.hits.Inc()
+			sp.SetAttr("outcome", "hit")
 			return e.result.Scalar, nil
 		}
 		// Stale entry: regenerate in place. Entries restored from disk
@@ -207,17 +258,20 @@ func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
 		if e.source == nil && e.recompute == nil {
 			e.source = source
 		}
+		sp.SetAttr("outcome", "stale-refill")
 		v, err := db.refreshScalar(e)
 		if err != nil {
 			return 0, err
 		}
 		db.counters.StaleRefill++
+		db.met.staleRefill.Inc()
 		return v, nil
 	}
 	db.counters.Misses++
+	db.met.misses.Inc()
+	sp.SetAttr("outcome", "miss")
 	e := &entry{fn: fn, attrs: []string{attr}, source: source}
-	xs, valid := source()
-	db.counters.Passes++
+	xs, valid := db.readSource(source)
 	v, err := db.computeScalar(fn, xs, valid)
 	if err != nil {
 		return 0, err
@@ -227,6 +281,21 @@ func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
 	db.installMaintenance(e, xs, valid)
 	db.insert(e)
 	return v, nil
+}
+
+// readSource runs one full column pass through source under a "scan"
+// span, so whatever the reader charges through the tracer (device ticks
+// for store-backed views, cell costs for memory columns) lands on the
+// scan node of the query's profile. Counts the pass. The caller holds
+// db.mu.
+func (db *DB) readSource(source Source) ([]float64, []bool) {
+	sp := db.tracer.Begin("scan")
+	xs, valid := source()
+	sp.SetAttr("rows", fmt.Sprintf("%d", len(xs)))
+	sp.End()
+	db.counters.Passes++
+	db.met.passes.Inc()
+	return xs, valid
 }
 
 // installMaintenance attaches the maintainer or window dictated by the
@@ -256,6 +325,7 @@ func (db *DB) installMaintenance(e *entry, xs []float64, valid []bool) {
 	case rules.StrategyWindow:
 		if p, ok := quantileOf(e.fn); ok {
 			if w, err := medwin.NewQuantile(xs, valid, p, db.WindowCapacity); err == nil {
+				w.SetCounters(db.met.medSlides, db.met.medRebuilds)
 				e.win = w
 			}
 		}
@@ -272,6 +342,7 @@ func (db *DB) refreshScalar(e *entry) (float64, error) {
 		e.result = r
 		e.fresh = true
 		db.counters.Recomputes++
+		db.met.recomputes.Inc()
 		return r.Scalar, nil
 	}
 	if e.source == nil {
@@ -281,8 +352,7 @@ func (db *DB) refreshScalar(e *entry) (float64, error) {
 		return 0, fmt.Errorf("summary: stale entry %s(%s) has no source to recompute from",
 			e.fn, strings.Join(e.attrs, ","))
 	}
-	xs, valid := e.source()
-	db.counters.Passes++
+	xs, valid := db.readSource(e.source)
 	v, err := db.computeScalar(e.fn, xs, valid)
 	if err != nil {
 		return 0, err
@@ -290,6 +360,7 @@ func (db *DB) refreshScalar(e *entry) (float64, error) {
 	e.result = ScalarOf(v)
 	e.fresh = true
 	db.counters.Recomputes++
+	db.met.recomputes.Inc()
 	db.installMaintenance(e, xs, valid)
 	return v, nil
 }
@@ -311,6 +382,7 @@ func (db *DB) Register(fn string, attrs []string, compute func() (Result, error)
 		e := db.entries[slot]
 		if e.fresh {
 			db.counters.Hits++
+			db.met.hits.Inc()
 			return e.result, nil
 		}
 		if e.recompute == nil {
@@ -321,6 +393,7 @@ func (db *DB) Register(fn string, attrs []string, compute func() (Result, error)
 				return Result{}, err
 			}
 			db.counters.StaleRefill++
+			db.met.staleRefill.Inc()
 			return ScalarOf(v), nil
 		}
 		r, err := e.recompute()
@@ -330,10 +403,13 @@ func (db *DB) Register(fn string, attrs []string, compute func() (Result, error)
 		e.result = r
 		e.fresh = true
 		db.counters.StaleRefill++
+		db.met.staleRefill.Inc()
 		db.counters.Recomputes++
+		db.met.recomputes.Inc()
 		return r, nil
 	}
 	db.counters.Misses++
+	db.met.misses.Inc()
 	r, err := compute()
 	if err != nil {
 		return Result{}, err
@@ -359,6 +435,7 @@ func (db *DB) Lookup(fn string, attrs ...string) (Result, bool) {
 		return Result{}, false
 	}
 	db.counters.Hits++
+	db.met.hits.Inc()
 	return e.result, true
 }
 
@@ -372,6 +449,7 @@ func (db *DB) StoreCustom(fn string, attrs []string, r Result) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.counters.Misses++
+	db.met.misses.Inc()
 	if slot, ok := db.idx.Get(entryKey(fn, attrs)); ok {
 		e := db.entries[slot]
 		e.result = r
@@ -423,6 +501,7 @@ func (db *DB) applyUpdate(e *entry, deltas []incr.Delta) {
 			if r, err := e.recompute(); err == nil {
 				e.result, e.fresh = r, true
 				db.counters.Recomputes++
+				db.met.recomputes.Inc()
 			} else {
 				e.fresh = false
 			}
@@ -449,12 +528,13 @@ func (db *DB) applyUpdate(e *entry, deltas []incr.Delta) {
 		}
 		if !ok {
 			// Defeated (e.g. min's last copy deleted): rebuild from data.
-			xs, valid := e.source()
-			db.counters.Passes++
+			xs, valid := db.readSource(e.source)
 			db.counters.Rebuilds++
+			db.met.rebuilds.Inc()
 			e.maint.Rebuild(xs, valid)
 		} else {
 			db.counters.Incremental += int64(len(deltas))
+			db.met.incremental.Add(int64(len(deltas)))
 		}
 		if v, err := e.maint.Value(); err == nil {
 			e.result, e.fresh = ScalarOf(v), true
@@ -473,12 +553,13 @@ func (db *DB) applyUpdate(e *entry, deltas []incr.Delta) {
 				e.win.Insert(d.New)
 			}
 			db.counters.Slides++
+			db.met.slides.Inc()
 		}
 		if e.win.NeedsRebuild() {
 			// The pointer ran off: regenerate with one pass (Section 4.2).
-			xs, valid := e.source()
-			db.counters.Passes++
+			xs, valid := db.readSource(e.source)
 			db.counters.Rebuilds++
+			db.met.rebuilds.Inc()
 			e.win.Rebuild(xs, valid)
 		}
 		if v, err := e.win.Value(); err == nil {

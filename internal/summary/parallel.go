@@ -2,6 +2,7 @@ package summary
 
 import (
 	"statdb/internal/exec"
+	"statdb/internal/obs"
 	"statdb/internal/stats"
 )
 
@@ -30,12 +31,35 @@ func (db *DB) SetExec(p *exec.Pool, chunk int) {
 }
 
 // computeScalar evaluates a built-in function, routing long columns
-// through the pool and everything else through builtinScalar.
+// through the pool and everything else through builtinScalar. The fold
+// is profiled as a span charged with the engine cost model's ticks for
+// the chosen route (never wall time), so EXPLAIN output is deterministic
+// and the serial-vs-parallel decision is visible in both the span attrs
+// and the summary.recompute.{serial,parallel} counters.
 func (db *DB) computeScalar(fn string, xs []float64, valid []bool) (float64, error) {
+	cost := exec.DefaultCost()
 	p := db.pool
 	if p == nil || p.Workers() <= 1 || len(xs) < ParallelThreshold {
+		ticks := cost.SerialTicks(len(xs))
+		sp := db.tracer.Begin("fold", obs.A("fn", fn), obs.A("engine", "serial"))
+		sp.Charge(ticks)
+		defer sp.End()
+		db.met.recomputeSerial.Inc()
+		db.met.passTicks.Observe(ticks)
 		return builtinScalar(fn, xs, valid)
 	}
+	chunks := len(exec.Chunks(len(xs), db.chunk))
+	workers := p.Workers()
+	if workers > chunks {
+		workers = chunks
+	}
+	ticks := cost.ParallelTicks(len(xs), db.chunk, p.Workers())
+	sp := db.tracer.Begin("fold", obs.A("fn", fn), obs.A("engine", "parallel"),
+		obs.AI("chunks", int64(chunks)), obs.AI("workers", int64(workers)))
+	sp.Charge(ticks)
+	defer sp.End()
+	db.met.recomputeParallel.Inc()
+	db.met.passTicks.Observe(ticks)
 	switch fn {
 	case "count", "sum", "mean", "variance", "sd", "min", "max":
 		m := exec.ColumnMoments(p, xs, valid, db.chunk)

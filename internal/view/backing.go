@@ -6,6 +6,7 @@ import (
 
 	"statdb/internal/colstore"
 	"statdb/internal/dataset"
+	"statdb/internal/obs"
 	"statdb/internal/storage"
 )
 
@@ -150,6 +151,19 @@ func (v *View) StoreStats() (storage.Stats, error) {
 		return storage.Stats{}, fmt.Errorf("view %s: no store attached", v.name)
 	}
 	return v.store.dev.Stats(), nil
+}
+
+// StoreMetrics returns the attached buffer pool's metrics registry
+// (storage.* families). Each attach creates a fresh pool, so the
+// registry covers the current store only; core.DBMS merges it into the
+// system snapshot. Nil when no store is attached.
+func (v *View) StoreMetrics() *obs.Registry {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.store == nil {
+		return nil
+	}
+	return v.store.pool.Metrics()
 }
 
 // StoreRetryStats returns the attached buffer pool's retry accounting —

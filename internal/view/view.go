@@ -13,6 +13,7 @@ import (
 	"statdb/internal/dataset"
 	"statdb/internal/exec"
 	"statdb/internal/incr"
+	"statdb/internal/obs"
 	"statdb/internal/relalg"
 	"statdb/internal/rules"
 	"statdb/internal/stats"
@@ -67,6 +68,12 @@ type View struct {
 	// Access-pattern tracking for dynamic reorganization (Section 2.7).
 	columnScans map[string]int64
 	rowReads    int64
+	// System-wide observability (nil handles no-op): tracer receives
+	// view.compute spans and scan charges; the counters mirror the
+	// access-pattern tallies into the shared registry.
+	tracer    *obs.Tracer
+	cColScans *obs.Counter
+	cRowReads *obs.Counter
 	// store, when attached, services column/row reads through a
 	// cost-accounted storage structure and receives write-through
 	// updates (Sections 2.6-2.7).
@@ -83,6 +90,12 @@ type Options struct {
 	// Summary Database recomputations. 0 or 1 keeps everything serial
 	// (the pre-engine behavior); core.DBMS defaults it to GOMAXPROCS.
 	Parallelism int
+	// Metrics, when set, wires the view, its Summary Database, and its
+	// execution pool into a shared registry (core.DBMS passes its own).
+	Metrics *obs.Registry
+	// Tracer, when set, collects per-query span trees across the view
+	// and summary layers.
+	Tracer *obs.Tracer
 }
 
 // New wraps data as a concrete view registered in mdb under def. The
@@ -108,8 +121,13 @@ func New(data *dataset.Dataset, mdb *rules.ManagementDB, def rules.ViewDef, opts
 	if opts.WindowCapacity > 0 {
 		v.sdb.WindowCapacity = opts.WindowCapacity
 	}
+	v.tracer = opts.Tracer
+	v.cColScans = opts.Metrics.Counter(obs.MViewColumnScans)
+	v.cRowReads = opts.Metrics.Counter(obs.MViewRowReads)
+	v.sdb.SetMetrics(opts.Metrics)
+	v.sdb.SetTracer(opts.Tracer)
 	if opts.Parallelism > 1 {
-		v.sdb.SetExec(exec.New(opts.Parallelism), 0)
+		v.sdb.SetExec(exec.New(opts.Parallelism).WithMetrics(opts.Metrics), 0)
 	}
 	if v.undoMode == UndoReplay {
 		v.base = data.Clone()
@@ -142,14 +160,19 @@ func (v *View) Rows() int {
 }
 
 // columnSource binds attr as a summary.Source, counting the pass as a
-// column scan for layout advice.
+// column scan for layout advice and charging the read's cost-model ticks
+// to the innermost open span (summary wraps sources in a "scan" span):
+// store-backed reads charge the device's actual tick delta, memory reads
+// charge one cell cost per row — so EXPLAIN shows where I/O beat RAM.
 func (v *View) columnSource(attr string) summary.Source {
 	return func() ([]float64, []bool) {
 		// Called with v.mu held (read side for cache fills, write side
 		// for update-driven rebuilds); only the counter needs its lock.
 		v.countScan(attr)
 		if v.store != nil {
+			before := v.store.dev.Stats().Ticks
 			xs, valid, err := v.store.readColumn(v.data, attr)
+			v.tracer.Charge(v.store.dev.Stats().Ticks - before)
 			if err != nil {
 				return nil, nil
 			}
@@ -159,6 +182,7 @@ func (v *View) columnSource(attr string) summary.Source {
 		if err != nil {
 			return nil, nil
 		}
+		v.tracer.Charge(exec.DefaultCost().SerialTicks(len(xs)))
 		return xs, valid
 	}
 }
@@ -174,6 +198,8 @@ func (v *View) Compute(fn, attr string) (float64, error) {
 }
 
 func (v *View) compute(fn, attr string) (float64, error) {
+	sp := v.tracer.Begin("view.compute", obs.A("fn", fn), obs.A("attr", attr))
+	defer sp.End()
 	a, ok := v.data.Schema().Lookup(attr)
 	if !ok {
 		return 0, fmt.Errorf("view %s: no attribute %q", v.name, attr)
@@ -193,6 +219,8 @@ func (v *View) compute(fn, attr string) (float64, error) {
 func (v *View) ComputeRaw(fn, attr string) (float64, error) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
+	sp := v.tracer.Begin("view.compute", obs.A("fn", fn), obs.A("attr", attr), obs.A("raw", "true"))
+	defer sp.End()
 	a, ok := v.data.Schema().Lookup(attr)
 	if !ok {
 		return 0, fmt.Errorf("view %s: no attribute %q", v.name, attr)
@@ -347,6 +375,7 @@ func (v *View) countScan(attr string) {
 	v.scanMu.Lock()
 	v.columnScans[attr]++
 	v.scanMu.Unlock()
+	v.cColScans.Inc()
 }
 
 // RowAt reads one full record, counting the informational access.
@@ -356,6 +385,7 @@ func (v *View) RowAt(i int) dataset.Row {
 	v.scanMu.Lock()
 	v.rowReads++
 	v.scanMu.Unlock()
+	v.cRowReads.Inc()
 	if v.store != nil {
 		if row, err := v.store.readRow(i); err == nil {
 			return row

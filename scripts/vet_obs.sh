@@ -1,0 +1,36 @@
+#!/bin/sh
+# vet_obs.sh — observability lint: all metric primitives live in
+# internal/obs. No other package may import sync/atomic or expvar to
+# roll its own counters; instrumentation goes through obs.Registry so
+# every number shows up in `statdb stats` and DBMS.Metrics().
+#
+# Allowlist:
+#   internal/exec/exec.go — uses atomic.Int64 as the worker pool's
+#   chunk-dispatch cursor, which is work distribution, not a metric.
+set -eu
+cd "$(dirname "$0")/.."
+
+allow="internal/exec/exec.go"
+
+# Tests may use atomics for concurrency assertions; the rule governs
+# production code.
+bad=$(grep -rln --include='*.go' --exclude='*_test.go' \
+	-e '"sync/atomic"' -e '"expvar"' \
+	cmd internal examples | grep -v '^internal/obs/' || true)
+
+fail=0
+for f in $bad; do
+	skip=0
+	for a in $allow; do
+		[ "$f" = "$a" ] && skip=1
+	done
+	if [ "$skip" = 0 ]; then
+		echo "vet-obs: $f imports sync/atomic or expvar; use internal/obs instruments instead" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" != 0 ]; then
+	exit 1
+fi
+echo "vet-obs: ok (raw counter primitives confined to internal/obs)"
