@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	experiments [-only ID]
+//	experiments [-only ID] [-json]
+//
+// With -json results are emitted as machine-readable JSON instead of
+// aligned text: a single table object with -only, an array otherwise —
+// the format of the committed BENCH_*.json perf-trajectory snapshots.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +24,10 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E4)")
+	asJSON := flag.Bool("json", false, "emit JSON instead of aligned text")
 	flag.Parse()
 
-	ran := 0
+	var tables []*bench.Table
 	for _, ex := range bench.All() {
 		if *only != "" && !strings.EqualFold(*only, ex.ID) {
 			continue
@@ -31,14 +37,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", ex.ID, err)
 			os.Exit(1)
 		}
-		if err := tab.Render(os.Stdout); err != nil {
+		if !*asJSON {
+			if err := tab.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		tables = append(tables, tab)
+	}
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment %q\n", *only)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		var err error
+		if *only != "" && len(tables) == 1 {
+			err = enc.Encode(tables[0])
+		} else {
+			err = enc.Encode(tables)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: no experiment %q\n", *only)
-		os.Exit(1)
 	}
 }

@@ -5,26 +5,40 @@
 // Usage:
 //
 //	statdb [-analyst NAME] [-scale N] [-db DIR] [-e "command"]... [command...]
+//	statdb serve [-listen ADDR] [-max-ticks N] [-max-pages N] [-events FILE] ...
 //
 // With -e flags (or positional arguments, joined into one statement —
 // e.g. `statdb stats`) the given commands run non-interactively;
 // otherwise a REPL starts on stdin. With -db the catalog in DIR is
 // loaded on start (if present) and the session state is saved back on
-// exit, so analyses persist across sessions.
+// exit, so analyses persist across sessions. A failing one-shot command
+// exits non-zero.
+//
+// `statdb serve` runs the query loop and the observability endpoint
+// concurrently: /metrics (Prometheus text), /statz (JSON snapshot +
+// sampled series), /tracez (recent query span trees) and /healthz.
+// Statements are still read from stdin; on stdin EOF the server keeps
+// serving until SIGINT/SIGTERM or a `quit` statement.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
-	"strings"
-
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 
 	"statdb/internal/catalog"
 	"statdb/internal/core"
+	"statdb/internal/obs"
 	"statdb/internal/query"
 	"statdb/internal/workload"
 )
@@ -39,66 +53,87 @@ func (c *commandList) Set(v string) error {
 }
 
 func main() {
-	analyst := flag.String("analyst", "analyst1", "analyst identity for this session")
-	scale := flag.Int("scale", 1, "census size multiplier (regions x scale)")
-	db := flag.String("db", "", "catalog directory: load on start, save on quit")
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// realMain is main with its exit code surfaced, so tests can assert the
+// one-shot failure path without spawning a process.
+func realMain(args []string, in io.Reader, out, errw io.Writer) int {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], in, out, errw)
+	}
+	fs := flag.NewFlagSet("statdb", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	analyst := fs.String("analyst", "analyst1", "analyst identity for this session")
+	scale := fs.Int("scale", 1, "census size multiplier (regions x scale)")
+	db := fs.String("db", "", "catalog directory: load on start, save on quit")
 	var cmds commandList
-	flag.Var(&cmds, "e", "command to execute (repeatable); suppresses the REPL")
-	flag.Parse()
+	fs.Var(&cmds, "e", "command to execute (repeatable); suppresses the REPL")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	// Positional arguments form one statement (`statdb stats`,
 	// `statdb compute mean AGE on v`), appended after any -e commands.
-	if args := flag.Args(); len(args) > 0 {
-		cmds = append(cmds, joinArgs(args))
+	if rest := fs.Args(); len(rest) > 0 {
+		cmds = append(cmds, joinArgs(rest))
 	}
-
-	if err := run(*analyst, *scale, *db, cmds, os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "statdb:", err)
-		os.Exit(1)
+	if err := run(*analyst, *scale, *db, cmds, in, out); err != nil {
+		fmt.Fprintln(errw, "statdb:", err)
+		return 1
 	}
+	return 0
 }
 
 func joinArgs(args []string) string {
 	return strings.Join(args, " ")
 }
 
-func run(analyst string, scale int, dbDir string, cmds []string, in io.Reader, out io.Writer) error {
-	var d *core.DBMS
+// bootDBMS loads the catalog from dbDir when one exists there, else
+// boots the synthetic census + Figure 1 raw database.
+func bootDBMS(scale int, dbDir string, out io.Writer) (*core.DBMS, error) {
 	if dbDir != "" {
 		if _, err := os.Stat(filepath.Join(dbDir, "manifest.json")); err == nil {
-			loaded, err := catalog.Load(dbDir)
+			d, err := catalog.Load(dbDir)
 			if err != nil {
-				return fmt.Errorf("loading %s: %w", dbDir, err)
+				return nil, fmt.Errorf("loading %s: %w", dbDir, err)
 			}
-			d = loaded
 			fmt.Fprintf(out, "loaded database from %s\n", dbDir)
+			return d, nil
 		}
 	}
-	if d == nil {
-		d = core.New()
-		spec := workload.DefaultCensusSpec()
-		if scale > 1 {
-			spec.Regions *= scale
-		}
-		census, err := workload.Census(spec)
-		if err != nil {
-			return err
-		}
-		if err := d.LoadRaw("census80", census); err != nil {
-			return err
-		}
-		if err := d.LoadRaw("figure1", workload.Figure1()); err != nil {
-			return err
-		}
+	d := core.New()
+	spec := workload.DefaultCensusSpec()
+	if scale > 1 {
+		spec.Regions *= scale
 	}
-	saveOnExit := func() error {
-		if dbDir == "" {
-			return nil
-		}
-		if err := catalog.Save(d, dbDir); err != nil {
-			return fmt.Errorf("saving %s: %w", dbDir, err)
-		}
-		fmt.Fprintf(out, "database saved to %s\n", dbDir)
+	census, err := workload.Census(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.LoadRaw("census80", census); err != nil {
+		return nil, err
+	}
+	if err := d.LoadRaw("figure1", workload.Figure1()); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func saveDBMS(d *core.DBMS, dbDir string, out io.Writer) error {
+	if dbDir == "" {
 		return nil
+	}
+	if err := catalog.Save(d, dbDir); err != nil {
+		return fmt.Errorf("saving %s: %w", dbDir, err)
+	}
+	fmt.Fprintf(out, "database saved to %s\n", dbDir)
+	return nil
+}
+
+func run(analyst string, scale int, dbDir string, cmds []string, in io.Reader, out io.Writer) error {
+	d, err := bootDBMS(scale, dbDir, out)
+	if err != nil {
+		return err
 	}
 	e := query.NewExecutor(d, analyst, out)
 
@@ -108,7 +143,7 @@ func run(analyst string, scale int, dbDir string, cmds []string, in io.Reader, o
 				return fmt.Errorf("%q: %w", c, err)
 			}
 		}
-		return saveOnExit()
+		return saveDBMS(d, dbDir, out)
 	}
 
 	fmt.Fprintf(out, "statdb — statistical database management (analyst %s)\n", analyst)
@@ -121,14 +156,140 @@ func run(analyst string, scale int, dbDir string, cmds []string, in io.Reader, o
 			if err := sc.Err(); err != nil {
 				return err
 			}
-			return saveOnExit()
+			return saveDBMS(d, dbDir, out)
 		}
 		line := sc.Text()
 		if line == "quit" || line == "exit" {
-			return saveOnExit()
+			return saveDBMS(d, dbDir, out)
 		}
 		if err := e.Run(line); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 	}
+}
+
+// runServe is the `statdb serve` subcommand: the query loop and the
+// observability endpoint running concurrently over one DBMS.
+func runServe(args []string, in io.Reader, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("statdb serve", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	listen := fs.String("listen", "127.0.0.1:8080", "address for /metrics, /statz, /tracez, /healthz")
+	analyst := fs.String("analyst", "analyst1", "analyst identity for this session")
+	scale := fs.Int("scale", 1, "census size multiplier (regions x scale)")
+	db := fs.String("db", "", "catalog directory: load on start, save on shutdown")
+	maxTicks := fs.Int64("max-ticks", 0, "per-query tick budget (0 = unlimited)")
+	maxPages := fs.Int64("max-pages", 0, "per-query page-read budget (0 = unlimited)")
+	events := fs.String("events", "", "event-log JSONL path (default: stderr)")
+	eventsMax := fs.Int64("events-max-bytes", 1<<20, "rotate the event log past this size")
+	slowTicks := fs.Int64("slow-ticks", 0, "mark queries at or above this many ticks as slow (0 = off)")
+	sampleEvery := fs.Int64("log-sample", 1, "head-sample routine query records: keep 1 in N")
+	interval := fs.Duration("sample-interval", time.Second, "metrics sampler period")
+	window := fs.Int("sample-window", 120, "samples retained in the time-series ring")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	d, err := bootDBMS(*scale, *db, out)
+	if err != nil {
+		fmt.Fprintln(errw, "statdb serve:", err)
+		return 1
+	}
+	d.SetQueryBudget(*maxTicks, *maxPages)
+
+	logCfg := obs.EventLogConfig{
+		Path:        *events,
+		MaxBytes:    *eventsMax,
+		SlowTicks:   *slowTicks,
+		SampleEvery: *sampleEvery,
+	}
+	if *events == "" {
+		logCfg.W = errw
+	}
+	elog, err := obs.NewEventLog(logCfg)
+	if err != nil {
+		fmt.Fprintln(errw, "statdb serve:", err)
+		return 1
+	}
+	defer elog.Close()
+
+	e := query.NewExecutor(d, *analyst, out)
+	e.SetEventLog(elog)
+
+	// In serve mode the sampler's time axis is the wall clock
+	// (milliseconds since start); tests use cost-model ticks instead.
+	start := time.Now()
+	smp := obs.NewSampler(d.Metrics, *window, 0)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(errw, "statdb serve:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: obs.NewHandler(obs.HandlerConfig{
+		Snap:    d.Metrics,
+		Tracer:  d.Tracer(),
+		Sampler: smp,
+	})}
+	fmt.Fprintf(out, "statdb serving on http://%s (/metrics /statz /tracez /healthz)\n", ln.Addr())
+	elog.Log(obs.Event{Kind: "serve", Msg: fmt.Sprintf("listening on %s", ln.Addr())})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.Serve(ln) }()
+
+	samplerDone := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerDone:
+				return
+			case <-tick.C:
+				smp.Tick(time.Since(start).Milliseconds())
+			}
+		}
+	}()
+
+	// The query loop: statements from stdin, results to out. EOF does
+	// not stop the server (CI backgrounds `statdb serve </dev/null`);
+	// `quit`/`exit` does.
+	quit := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(in)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "quit" || line == "exit" {
+				close(quit)
+				return
+			}
+			if line == "" {
+				continue
+			}
+			if err := e.Run(line); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		}
+	}()
+
+	code := 0
+	select {
+	case <-ctx.Done():
+	case <-quit:
+	case err := <-srvErr:
+		fmt.Fprintln(errw, "statdb serve:", err)
+		code = 1
+	}
+	close(samplerDone)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+	elog.Log(obs.Event{Kind: "serve", Msg: "shutting down"})
+	if err := saveDBMS(d, *db, out); err != nil {
+		fmt.Fprintln(errw, "statdb serve:", err)
+		code = 1
+	}
+	return code
 }

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"statdb/internal/obs"
+	"statdb/internal/query"
+)
+
+// syncBuf is a goroutine-safe buffer: runServe writes to out from both
+// the query-loop goroutine and the main goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+var serveAddrRe = regexp.MustCompile(`http://([0-9.]+:[0-9]+)`)
+
+// TestServeEndToEnd drives the real subcommand: boot, scrape all four
+// endpoints, run statements through the query loop while the endpoint
+// is live, watch the counters move, then shut down cleanly via `quit`.
+func TestServeEndToEnd(t *testing.T) {
+	var out, errOut syncBuf
+	pr, pw := io.Pipe()
+	exit := make(chan int, 1)
+	go func() {
+		exit <- runServe([]string{
+			"-listen", "127.0.0.1:0",
+			"-sample-interval", "10ms",
+			"-slow-ticks", "1",
+		}, pr, &out, &errOut)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; out=%q err=%q", out.String(), errOut.String())
+		}
+		if m := serveAddrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	if code, body := httpGet(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := httpGet(t, base+"/metrics"); code != 200 || !strings.Contains(body, "statdb_query_statements 0") {
+		t.Errorf("/metrics before workload = %d, missing zero counter:\n%s", code, body)
+	}
+
+	if _, err := io.WriteString(pw, "materialize v from figure1\ncompute mean POPULATION on v\n"); err != nil {
+		t.Fatal(err)
+	}
+	var metrics string
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("statements never landed in /metrics:\n%s\nout=%q", metrics, out.String())
+		}
+		_, metrics = httpGet(t, base+"/metrics")
+		if strings.Contains(metrics, "statdb_query_statements 2") {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(metrics, "statdb_summary_misses 1") {
+		t.Errorf("/metrics missing summary miss:\n%s", metrics)
+	}
+	if code, body := httpGet(t, base+"/statz"); code != 200 || !strings.Contains(body, `"query.statements": 2`) {
+		t.Errorf("/statz = %d:\n%s", code, body)
+	}
+	if code, body := httpGet(t, base+"/tracez"); code != 200 || !strings.Contains(body, "total charge =") {
+		t.Errorf("/tracez = %d:\n%s", code, body)
+	}
+	// The compute crossed -slow-ticks 1, so the event log (on stderr
+	// here) carries a warn-severity query record.
+	if !strings.Contains(errOut.String(), `"sev":"warn"`) || !strings.Contains(errOut.String(), `"kind":"query"`) {
+		t.Errorf("event log missing slow-query record: %q", errOut.String())
+	}
+
+	if _, err := io.WriteString(pw, "quit\n"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("serve exited %d; err=%q", code, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down on quit")
+	}
+	pw.Close()
+}
+
+// TestServeScrapeUnderLoad is the -race proof at the server level:
+// every endpoint scraped concurrently while an executor churns queries
+// and updates and the sampler ticks. The registry, tracer ring, and
+// sampler are all mutex/atomic-guarded; this test is where the race
+// detector checks that claim end to end.
+func TestServeScrapeUnderLoad(t *testing.T) {
+	d, err := bootDBMS(1, "", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := query.NewExecutor(d, "hammer", io.Discard)
+	if err := e.Run("materialize v from figure1"); err != nil {
+		t.Fatal(err)
+	}
+	smp := obs.NewSampler(d.Metrics, 32, 0)
+	srv := httptest.NewServer(obs.NewHandler(obs.HandlerConfig{
+		Snap:    d.Metrics,
+		Tracer:  d.Tracer(),
+		Sampler: smp,
+	}))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var workload sync.WaitGroup
+	workload.Add(1)
+	go func() { // the query loop (executors are single-goroutine by design)
+		defer workload.Done()
+		stmts := []string{
+			"compute mean POPULATION on v",
+			"update v set POPULATION = 100 where SEX = 'M'",
+			"compute mean POPULATION on v",
+			"explain compute sd POPULATION on v",
+		}
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Run(stmts[i%int64(len(stmts))])
+			smp.Tick(i)
+		}
+	}()
+
+	paths := []string{"/metrics", "/statz", "/tracez", "/healthz"}
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(srv.URL + paths[(g+i)%len(paths)])
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("scrape returned %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	workload.Wait()
+}
+
+// TestRealMainExitCodes pins the satellite fix: one-shot commands that
+// fail exit non-zero, successes exit zero, flag errors exit 2.
+func TestRealMainExitCodes(t *testing.T) {
+	var errOut bytes.Buffer
+	if code := realMain([]string{"compute", "mean", "AGE", "on", "nope"},
+		strings.NewReader(""), io.Discard, &errOut); code != 1 {
+		t.Errorf("failing positional command exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no view") {
+		t.Errorf("stderr missing cause: %q", errOut.String())
+	}
+	if code := realMain([]string{"-e", "files"},
+		strings.NewReader(""), io.Discard, io.Discard); code != 0 {
+		t.Errorf("succeeding -e command exited %d, want 0", code)
+	}
+	if code := realMain([]string{"-no-such-flag"},
+		strings.NewReader(""), io.Discard, io.Discard); code != 2 {
+		t.Errorf("bad flag exited %d, want 2", code)
+	}
+}

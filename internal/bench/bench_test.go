@@ -318,6 +318,17 @@ func TestE15ShapeOverheadSmall(t *testing.T) {
 	if ov := cell(t, tab, 1, 3); ov > 10 {
 		t.Errorf("live-registry overhead %+.1f%%, want well under 10%%", ov)
 	}
+	// The serve-mode configuration: registry plus a ticking sampler.
+	// Same budget, slightly wider noise headroom: this row compares two
+	// independently calibrated wall-clock benchmarks, so baseline jitter
+	// counts twice. A real regression (per-row sampling) would cost
+	// whole multiples, not percent.
+	if tab.Rows[2][0] != "fold, live registry + ticking sampler" {
+		t.Errorf("row 2 is not the sampler configuration: %v", tab.Rows[2])
+	}
+	if ov := cell(t, tab, 2, 3); ov > 15 {
+		t.Errorf("sampler-attached overhead %+.1f%%, want well under 15%%", ov)
+	}
 }
 
 func TestA1ShapeClusteredScan(t *testing.T) {

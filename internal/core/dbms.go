@@ -37,6 +37,10 @@ type DBMS struct {
 	// counters live in per-pool registries and are merged by Metrics().
 	metrics *obs.Registry
 	tracer  *obs.Tracer
+	// maxTicks/maxPages are the per-query resource ceilings executors
+	// apply when they open a statement budget (0 = unlimited).
+	maxTicks int64
+	maxPages int64
 }
 
 // New creates a DBMS over an empty tape archive with default cost models.
@@ -80,6 +84,30 @@ func (d *DBMS) Metrics() obs.Snapshot {
 		}
 	}
 	return s
+}
+
+// SetQueryBudget sets the per-query resource ceilings (cost-model ticks
+// and buffer-pool page reads) that executors enforce on every
+// statement. 0 disables a ceiling. The setting applies to statements
+// started after the call.
+func (d *DBMS) SetQueryBudget(maxTicks, maxPages int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if maxTicks < 0 {
+		maxTicks = 0
+	}
+	if maxPages < 0 {
+		maxPages = 0
+	}
+	d.maxTicks = maxTicks
+	d.maxPages = maxPages
+}
+
+// QueryBudget returns the configured per-query ceilings (0 = unlimited).
+func (d *DBMS) QueryBudget() (maxTicks, maxPages int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxTicks, d.maxPages
 }
 
 // SetParallelism sets the worker count views built from here on use for

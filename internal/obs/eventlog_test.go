@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func decodeEvents(t *testing.T, data string) []Event {
+	t.Helper()
+	var out []Event
+	for _, line := range strings.Split(strings.TrimSpace(data), "\n") {
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestEventLogSeverityAndSeq(t *testing.T) {
+	var b strings.Builder
+	l, err := NewEventLog(EventLogConfig{W: &b, SlowTicks: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Log(Event{Tick: 5, Kind: "query", Query: &QueryRecord{Query: "compute mean of AGE", TotalTicks: 100}})
+	l.Log(Event{Tick: 10, Kind: "query", Query: &QueryRecord{Query: "compute sd of SALARY", TotalTicks: 5000}})
+	l.Log(Event{Tick: 15, Kind: "query", Query: &QueryRecord{Query: "compute x of Y", TotalTicks: 1, Err: "no such attribute"}})
+	l.Log(Event{Tick: 20, Kind: "query", Query: &QueryRecord{Query: "compute mean of AGE", TotalTicks: 1, Budget: "ticks used 120 of 100"}})
+
+	events := decodeEvents(t, b.String())
+	if len(events) != 4 {
+		t.Fatalf("wrote %d events, want 4", len(events))
+	}
+	wantSev := []string{SevInfo, SevWarn, SevError, SevWarn}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d", i, e.Seq)
+		}
+		if e.Sev != wantSev[i] {
+			t.Errorf("event %d sev = %s, want %s", i, e.Sev, wantSev[i])
+		}
+	}
+}
+
+func TestEventLogHeadSampling(t *testing.T) {
+	var b strings.Builder
+	l, err := NewEventLog(EventLogConfig{W: &b, SlowTicks: 1000, SampleEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		l.Log(Event{Kind: "query", Query: &QueryRecord{Query: "q", TotalTicks: 10}})
+	}
+	// Slow and erroring records bypass sampling.
+	l.Log(Event{Kind: "query", Query: &QueryRecord{Query: "slow", TotalTicks: 9999}})
+	l.Log(Event{Kind: "query", Query: &QueryRecord{Query: "bad", Err: "boom"}})
+
+	events := decodeEvents(t, b.String())
+	if len(events) != 5 { // 3 of 9 info + slow + error
+		t.Fatalf("wrote %d events, want 5", len(events))
+	}
+	if events[3].Query.Query != "slow" || events[4].Query.Query != "bad" {
+		t.Errorf("sampling dropped an incident: %+v", events)
+	}
+	// Seq numbers stay dense over what was actually written.
+	if events[4].Seq != 5 {
+		t.Errorf("last seq = %d, want 5", events[4].Seq)
+	}
+}
+
+func TestEventLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	l, err := NewEventLog(EventLogConfig{Path: path, MaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 20; i++ {
+		l.Log(Event{Kind: "query", Query: &QueryRecord{Query: strings.Repeat("x", 40), TotalTicks: int64(i)}})
+	}
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("no rotated generation: %v", err)
+	}
+	if int64(len(cur)) > 256 || int64(len(old)) > 256 {
+		t.Errorf("generation exceeds MaxBytes: cur=%d old=%d", len(cur), len(old))
+	}
+	// Both generations hold valid JSONL and the live file continues the
+	// sequence numbering.
+	curEvents := decodeEvents(t, string(cur))
+	oldEvents := decodeEvents(t, string(old))
+	if len(curEvents) == 0 || len(oldEvents) == 0 {
+		t.Fatal("a generation is empty")
+	}
+	if curEvents[0].Seq <= oldEvents[len(oldEvents)-1].Seq {
+		t.Errorf("sequence not continuous across rotation: %d after %d",
+			curEvents[0].Seq, oldEvents[len(oldEvents)-1].Seq)
+	}
+	// Only two generations exist.
+	if _, err := os.Stat(path + ".2"); err == nil {
+		t.Error("more than two generations on disk")
+	}
+}
+
+func TestEventLogNilAndDiscard(t *testing.T) {
+	var l *EventLog
+	l.Log(Event{Kind: "query"})
+	if err := l.Close(); err != nil {
+		t.Error(err)
+	}
+	d, err := NewEventLog(EventLogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Log(Event{Kind: "query"}) // goes to io.Discard without panicking
+}

@@ -132,6 +132,50 @@ type HistValue struct {
 	Count  int64
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// observations by linear interpolation inside the fixed buckets — the
+// same estimator Prometheus applies to cumulative buckets. The first
+// bucket interpolates from 0; ranks landing in the overflow bucket
+// report the largest finite bound (there is no upper edge to
+// interpolate toward). ok is false when the histogram is empty.
+func (hv HistValue) Quantile(q float64) (v float64, ok bool) {
+	if hv.Count <= 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hv.Count)
+	var cum float64
+	for i, c := range hv.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(hv.Bounds) {
+			break // overflow bucket
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = float64(hv.Bounds[i-1])
+		}
+		upper := float64(hv.Bounds[i])
+		return lower + (upper-lower)*(rank-prev)/float64(c), true
+	}
+	if len(hv.Bounds) > 0 {
+		return float64(hv.Bounds[len(hv.Bounds)-1]), true
+	}
+	// Degenerate single-bucket histogram: the mean is the only estimate.
+	return float64(hv.Sum) / float64(hv.Count), true
+}
+
 func (h *Histogram) value() HistValue {
 	hv := HistValue{
 		Bounds: append([]int64(nil), h.bounds...),
@@ -288,7 +332,10 @@ func (s *Snapshot) Merge(o Snapshot) {
 //
 //	counter summary.hits 12
 //	gauge exec.inflight 0
-//	histogram summary.pass_ticks count=3 sum=1234 le1000=2 le10000=1 inf=0
+//	histogram summary.pass_ticks count=3 sum=1234 le1000=2 le10000=1 inf=0 p50=750 p90=8200 p99=9820
+//
+// Non-empty histograms carry interpolated p50/p90/p99 estimates (see
+// HistValue.Quantile).
 func (s Snapshot) WriteText(w io.Writer) error {
 	names := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
@@ -324,6 +371,11 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 		if len(hv.Counts) > 0 {
 			fmt.Fprintf(&b, " inf=%d", hv.Counts[len(hv.Counts)-1])
+		}
+		if p50, ok := hv.Quantile(0.50); ok {
+			p90, _ := hv.Quantile(0.90)
+			p99, _ := hv.Quantile(0.99)
+			fmt.Fprintf(&b, " p50=%g p90=%g p99=%g", p50, p90, p99)
 		}
 		if _, err := fmt.Fprintln(w, b.String()); err != nil {
 			return err

@@ -98,7 +98,7 @@ func TestSnapshotMergeAndText(t *testing.T) {
 	want := "counter c.only_a 1\n" +
 		"counter c.shared 7\n" +
 		"gauge g 3\n" +
-		"histogram h count=2 sum=55 le10=1 inf=1\n"
+		"histogram h count=2 sum=55 le10=1 inf=1 p50=10 p90=10 p99=10\n"
 	if sb.String() != want {
 		t.Errorf("WriteText:\n%s\nwant:\n%s", sb.String(), want)
 	}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// HistDelta summarizes what one histogram did during one sample
+// interval: how many observations landed, their sum, and the
+// interpolated quantiles of the interval's own bucket deltas (not the
+// cumulative distribution — a Sampler answers "what were recent pass
+// ticks like", not "what were they since boot").
+type HistDelta struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Sample is one interval's worth of registry movement. Counters and
+// histograms are deltas against the previous sample; gauges are the
+// value at the sample instant. Quiet instruments (zero delta, zero
+// gauge) are omitted so samples stay small and renderings stay legible.
+type Sample struct {
+	Tick     int64                `json:"tick"` // sample instant, in the sampler's time unit
+	Dur      int64                `json:"dur"`  // interval length (ticks since previous sample)
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Hists    map[string]HistDelta `json:"hists,omitempty"`
+}
+
+// Sampler turns a snapshot function into a bounded time series: each
+// Tick diffs the current snapshot against the previous one and appends
+// a Sample to a fixed-size ring. Time is whatever int64 the caller
+// passes — cost-model ticks in tests (deterministic, golden-testable),
+// wall-clock units in `statdb serve`. The baseline snapshot is taken at
+// construction, so the first Tick reports activity since NewSampler,
+// not since process start.
+//
+// A nil Sampler no-ops, like every other obs handle.
+type Sampler struct {
+	mu      sync.Mutex
+	snap    func() Snapshot
+	cap     int
+	last    Snapshot
+	lastT   int64
+	samples []Sample
+}
+
+// NewSampler builds a sampler over snap keeping the n most recent
+// samples (minimum 1). The baseline snapshot is taken now, at tick
+// `now`.
+func NewSampler(snap func() Snapshot, n int, now int64) *Sampler {
+	if n < 1 {
+		n = 1
+	}
+	return &Sampler{snap: snap, cap: n, last: snap(), lastT: now}
+}
+
+// Tick takes a sample at instant now, recording deltas since the
+// previous Tick (or since construction). Out-of-order or duplicate
+// instants are tolerated: Dur is clamped at zero.
+func (s *Sampler) Tick(now int64) {
+	if s == nil {
+		return
+	}
+	cur := s.snap()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dur := now - s.lastT
+	if dur < 0 {
+		dur = 0
+	}
+	sm := Sample{Tick: now, Dur: dur}
+	for name, v := range cur.Counters {
+		if d := v - s.last.Counters[name]; d != 0 {
+			if sm.Counters == nil {
+				sm.Counters = make(map[string]int64)
+			}
+			sm.Counters[name] = d
+		}
+	}
+	for name, v := range cur.Gauges {
+		if v != 0 {
+			if sm.Gauges == nil {
+				sm.Gauges = make(map[string]int64)
+			}
+			sm.Gauges[name] = v
+		}
+	}
+	for name, hv := range cur.Histograms {
+		prev := s.last.Histograms[name]
+		dc := hv.Count - prev.Count
+		if dc == 0 {
+			continue
+		}
+		d := HistValue{Bounds: hv.Bounds, Count: dc, Sum: hv.Sum - prev.Sum}
+		if len(prev.Counts) == len(hv.Counts) {
+			d.Counts = make([]int64, len(hv.Counts))
+			for i := range hv.Counts {
+				d.Counts[i] = hv.Counts[i] - prev.Counts[i]
+			}
+		} else {
+			d.Counts = append([]int64(nil), hv.Counts...)
+		}
+		hd := HistDelta{Count: dc, Sum: d.Sum}
+		hd.P50, _ = d.Quantile(0.50)
+		hd.P90, _ = d.Quantile(0.90)
+		hd.P99, _ = d.Quantile(0.99)
+		if sm.Hists == nil {
+			sm.Hists = make(map[string]HistDelta)
+		}
+		sm.Hists[name] = hd
+	}
+	s.samples = append(s.samples, sm)
+	// Amortized trim: let the slice grow to twice the window, then slide
+	// the live tail down in place — O(1) per tick instead of a fresh
+	// O(cap) copy on every tick once the ring fills.
+	if len(s.samples) >= 2*s.cap {
+		n := copy(s.samples, s.samples[len(s.samples)-s.cap:])
+		s.samples = s.samples[:n]
+	}
+	s.last = cur
+	s.lastT = now
+}
+
+// window returns the retained samples (at most cap, newest last). The
+// caller holds s.mu.
+func (s *Sampler) window() []Sample {
+	if len(s.samples) > s.cap {
+		return s.samples[len(s.samples)-s.cap:]
+	}
+	return s.samples
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *Sampler) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.window()...)
+}
+
+// Rate returns the named counter's increase per time unit over the
+// retained window (total delta / total duration). ok is false when the
+// window is empty or has zero duration.
+func (s *Sampler) Rate(name string) (perTick float64, ok bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total, dur int64
+	for _, sm := range s.window() {
+		total += sm.Counters[name]
+		dur += sm.Dur
+	}
+	if dur == 0 {
+		return 0, false
+	}
+	return float64(total) / float64(dur), true
+}
+
+// WriteSeries renders the retained window in a stable line-oriented
+// format — one instrument per line, sorted by kind then name, each
+// carrying its per-sample points as tick:value pairs. Instruments quiet
+// across the whole window are skipped. Counter lines end with the
+// window rate:
+//
+//	series 3 samples window=30 ticks
+//	counter query.statements 10:2 20:1 30:2 rate=0.167/tick
+//	gauge exec.inflight 20:3
+//	histogram summary.pass_ticks 10:count=1,sum=694,p50=750 30:count=2,sum=1400,p50=775
+func (s *Sampler) WriteSeries(w io.Writer) error {
+	if s == nil {
+		_, err := fmt.Fprintln(w, "series 0 samples window=0 ticks")
+		return err
+	}
+	s.mu.Lock()
+	samples := append([]Sample(nil), s.window()...)
+	s.mu.Unlock()
+	var window int64
+	for _, sm := range samples {
+		window += sm.Dur
+	}
+	if _, err := fmt.Fprintf(w, "series %d samples window=%d ticks\n", len(samples), window); err != nil {
+		return err
+	}
+	counterNames := map[string]bool{}
+	gaugeNames := map[string]bool{}
+	histNames := map[string]bool{}
+	for _, sm := range samples {
+		for n := range sm.Counters {
+			counterNames[n] = true
+		}
+		for n := range sm.Gauges {
+			gaugeNames[n] = true
+		}
+		for n := range sm.Hists {
+			histNames[n] = true
+		}
+	}
+	for _, name := range sortedKeys(counterNames) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "counter %s", name)
+		var total int64
+		for _, sm := range samples {
+			if d, ok := sm.Counters[name]; ok {
+				fmt.Fprintf(&b, " %d:%d", sm.Tick, d)
+				total += d
+			}
+		}
+		if window > 0 {
+			fmt.Fprintf(&b, " rate=%.3f/tick", float64(total)/float64(window))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gaugeNames) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "gauge %s", name)
+		for _, sm := range samples {
+			if v, ok := sm.Gauges[name]; ok {
+				fmt.Fprintf(&b, " %d:%d", sm.Tick, v)
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(histNames) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "histogram %s", name)
+		for _, sm := range samples {
+			if hd, ok := sm.Hists[name]; ok {
+				fmt.Fprintf(&b, " %d:count=%d,sum=%d,p50=%g", sm.Tick, hd.Count, hd.Sum, hd.P50)
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

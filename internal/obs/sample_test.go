@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSamplerDeltasAndRing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("q.count")
+	g := r.Gauge("q.inflight")
+	h := r.Histogram("q.ticks", []int64{10, 100})
+
+	c.Add(5) // pre-baseline activity must not appear in any sample
+	s := NewSampler(r.Snapshot, 2, 0)
+
+	c.Add(2)
+	g.Set(3)
+	h.Observe(7)
+	s.Tick(10)
+
+	s.Tick(20) // quiet interval: gauge still reported, counter/hist omitted
+
+	c.Add(1)
+	g.Set(0)
+	s.Tick(30)
+
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("ring kept %d samples, want 2 (cap)", len(samples))
+	}
+	// Oldest retained is the quiet tick at 20.
+	if samples[0].Tick != 20 || samples[0].Dur != 10 {
+		t.Errorf("sample 0 = tick %d dur %d, want 20/10", samples[0].Tick, samples[0].Dur)
+	}
+	if len(samples[0].Counters) != 0 || len(samples[0].Hists) != 0 {
+		t.Errorf("quiet sample carries deltas: %+v", samples[0])
+	}
+	if samples[0].Gauges["q.inflight"] != 3 {
+		t.Errorf("gauge at tick 20 = %d, want 3", samples[0].Gauges["q.inflight"])
+	}
+	if samples[1].Counters["q.count"] != 1 {
+		t.Errorf("counter delta at tick 30 = %d, want 1", samples[1].Counters["q.count"])
+	}
+	if _, ok := samples[1].Gauges["q.inflight"]; ok {
+		t.Error("zero gauge reported")
+	}
+	rate, ok := s.Rate("q.count")
+	if !ok || rate != 0.05 { // 1 increment over the retained 20-tick window
+		t.Errorf("rate = %v/%v, want 0.05", rate, ok)
+	}
+}
+
+func TestSamplerHistQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100})
+	h.Observe(5) // baseline
+	s := NewSampler(r.Snapshot, 8, 0)
+	for i := 0; i < 10; i++ {
+		h.Observe(50) // all in (10,100] this interval
+	}
+	s.Tick(1)
+	sm := s.Samples()[0]
+	hd, ok := sm.Hists["lat"]
+	if !ok {
+		t.Fatal("histogram delta missing")
+	}
+	if hd.Count != 10 || hd.Sum != 500 {
+		t.Errorf("delta count=%d sum=%d, want 10/500", hd.Count, hd.Sum)
+	}
+	// All 10 interval observations sit in the 10..100 bucket, so the
+	// interpolated median is 10 + 90*(5/10) = 55.
+	if hd.P50 != 55 {
+		t.Errorf("p50 = %g, want 55", hd.P50)
+	}
+	if hd.P99 != 10+90*9.9/10 {
+		t.Errorf("p99 = %g, want %g", hd.P99, 10+90*9.9/10)
+	}
+}
+
+func TestWriteSeriesDeterministic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("b.count")
+	a := r.Counter("a.count")
+	g := r.Gauge("g.val")
+	h := r.Histogram("h.ticks", []int64{10})
+	s := NewSampler(r.Snapshot, 4, 0)
+
+	a.Add(2)
+	c.Inc()
+	g.Set(7)
+	h.Observe(4)
+	s.Tick(10)
+	a.Add(1)
+	g.Set(7)
+	s.Tick(20)
+
+	var b strings.Builder
+	if err := s.WriteSeries(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "series 2 samples window=20 ticks\n" +
+		"counter a.count 10:2 20:1 rate=0.150/tick\n" +
+		"counter b.count 10:1 rate=0.050/tick\n" +
+		"gauge g.val 10:7 20:7\n" +
+		"histogram h.ticks 10:count=1,sum=4,p50=5\n"
+	if b.String() != want {
+		t.Errorf("WriteSeries:\n%s\nwant:\n%s", b.String(), want)
+	}
+	// Rendering twice is byte-identical — the determinism contract.
+	var b2 strings.Builder
+	_ = s.WriteSeries(&b2)
+	if b.String() != b2.String() {
+		t.Error("WriteSeries not deterministic")
+	}
+}
+
+func TestSamplerNilSafe(t *testing.T) {
+	var s *Sampler
+	s.Tick(5)
+	if s.Samples() != nil {
+		t.Error("nil sampler produced samples")
+	}
+	if _, ok := s.Rate("x"); ok {
+		t.Error("nil sampler produced a rate")
+	}
+	var b strings.Builder
+	if err := s.WriteSeries(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "series 0 samples") {
+		t.Errorf("nil WriteSeries = %q", b.String())
+	}
+}

@@ -76,7 +76,9 @@ func (s *Span) Charge(n int64) {
 	}
 	s.t.mu.Lock()
 	s.self += n
+	b := s.t.budget
 	s.t.mu.Unlock()
+	b.ChargeTicks(n)
 }
 
 // Self returns the ticks charged directly to this span.
@@ -192,6 +194,11 @@ type Tracer struct {
 	stack []*Span
 	ring  *RingSink
 	sink  Sink
+	// budget, when set, meters every tick charged through this tracer
+	// (and page reads via ChargePages) against the current query's
+	// resource ceiling. Installed per query by the executor, like the
+	// span stack it follows the one-query-at-a-time discipline.
+	budget *Budget
 }
 
 // NewTracer creates a tracer retaining the 16 most recent root trees.
@@ -207,6 +214,43 @@ func (t *Tracer) SetSink(s Sink) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.sink = s
+}
+
+// SetBudget installs (or, with nil, removes) the budget metering charges
+// from here on. One query at a time per tracer, like the span stack.
+func (t *Tracer) SetBudget(b *Budget) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.budget = b
+	t.mu.Unlock()
+}
+
+// ChargePages records page reads against the installed budget. Pages are
+// budget-only: they never appear on spans, which account ticks.
+func (t *Tracer) ChargePages(n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	b := t.budget
+	t.mu.Unlock()
+	b.ChargePages(n)
+}
+
+// BudgetErr reports the installed budget's latched error, nil when no
+// budget is installed or nothing has been exceeded. Layers that cannot
+// return errors from their charge sites (Sources, workers) rely on the
+// next error-capable layer checking this.
+func (t *Tracer) BudgetErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	b := t.budget
+	t.mu.Unlock()
+	return b.Err()
 }
 
 // Begin opens a span as a child of the innermost open span (or as a new
@@ -227,19 +271,23 @@ func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
 	return s
 }
 
-// Charge adds n ticks to the innermost open span; it is dropped when no
-// span is open. Layers that do not hold a span handle (the view's column
-// reader, for instance) charge through this.
+// Charge adds n ticks to the innermost open span (span attribution is
+// dropped when none is open) and to the installed budget. Layers that do
+// not hold a span handle (the view's column reader, for instance) charge
+// through this.
 func (t *Tracer) Charge(n int64) {
 	if t == nil || n == 0 {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if len(t.stack) == 0 {
-		return
+	b := t.budget
+	if len(t.stack) > 0 {
+		t.stack[len(t.stack)-1].self += n
 	}
-	t.stack[len(t.stack)-1].self += n
+	t.mu.Unlock()
+	// The work happened whether or not a span was open to attribute it
+	// to, so the budget is charged regardless.
+	b.ChargeTicks(n)
 }
 
 // end closes s; used by Span.End.

@@ -121,3 +121,87 @@ func TestSinksReceiveRoots(t *testing.T) {
 		t.Errorf("text sink output: %q", b.String())
 	}
 }
+
+// TestRingSinkWraparound pushes several multiples of the capacity
+// through the ring and checks the window slides correctly — including
+// the degenerate capacity-1 ring that NewRingSink clamps to.
+func TestRingSinkWraparound(t *testing.T) {
+	tr := NewTracer()
+	mk := func(n int64) *Span {
+		sp := tr.Begin("q")
+		sp.Charge(n)
+		sp.End()
+		return sp
+	}
+	ring := NewRingSink(3)
+	for i := int64(0); i < 10; i++ {
+		ring.Emit(mk(i))
+	}
+	roots := ring.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(roots))
+	}
+	for i, want := range []int64{7, 8, 9} {
+		if roots[i].Self() != want {
+			t.Errorf("root %d self = %d, want %d", i, roots[i].Self(), want)
+		}
+	}
+	// Roots() returns a copy: mutating it must not corrupt the ring.
+	roots[0] = nil
+	if ring.Roots()[0] == nil {
+		t.Error("Roots() aliases ring storage")
+	}
+
+	one := NewRingSink(0) // clamped to 1
+	for i := int64(0); i < 4; i++ {
+		one.Emit(mk(100 + i))
+	}
+	if rs := one.Roots(); len(rs) != 1 || rs[0].Self() != 103 {
+		t.Errorf("cap-1 ring kept wrong root")
+	}
+}
+
+// TestWriteTreeEdges covers what the golden tests don't: a nil root, a
+// root with no charges at all, and a child-only tree where every tick
+// lives below an uncharged root.
+func TestWriteTreeEdges(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTree(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "(no trace)\n" {
+		t.Errorf("nil root = %q", b.String())
+	}
+
+	tr := NewTracer()
+	empty := tr.Begin("query")
+	empty.End()
+	b.Reset()
+	if err := WriteTree(&b, empty); err != nil {
+		t.Fatal(err)
+	}
+	want := "query: self=0 total=0\ntotal charge = 0 ticks\n"
+	if b.String() != want {
+		t.Errorf("empty tree:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	root := tr.Begin("query")
+	c1 := tr.Begin("scan")
+	c1.Charge(30)
+	c1.End()
+	c2 := tr.Begin("fold")
+	c2.Charge(12)
+	c2.End()
+	root.End()
+	b.Reset()
+	if err := WriteTree(&b, root); err != nil {
+		t.Fatal(err)
+	}
+	want = "query: self=0 total=42\n" +
+		"  scan: self=30 total=30\n" +
+		"  fold: self=12 total=12\n" +
+		"total charge = 42 ticks\n"
+	if b.String() != want {
+		t.Errorf("child-only tree:\n%s\nwant:\n%s", b.String(), want)
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -20,6 +21,11 @@ type Executor struct {
 	cStatements *obs.Counter
 	cErrors     *obs.Counter
 	tracer      *obs.Tracer
+	// events, when set, receives one structured record per profiled
+	// statement; clock is the executor's virtual time — cumulative root
+	// span ticks — stamped on each record.
+	events *obs.EventLog
+	clock  int64
 }
 
 // NewExecutor creates an executor for the named analyst.
@@ -35,6 +41,11 @@ func NewExecutor(d *core.DBMS, analyst string, out io.Writer) *Executor {
 	}
 }
 
+// SetEventLog attaches the structured log receiving per-query records;
+// nil detaches it. The executor model is single-threaded, so this is
+// set before the query loop starts.
+func (e *Executor) SetEventLog(l *obs.EventLog) { e.events = l }
+
 // Run parses and executes one statement, counting it (and any failure)
 // in the query.* metric family.
 func (e *Executor) Run(input string) error {
@@ -48,7 +59,7 @@ func (e *Executor) Run(input string) error {
 		return err
 	}
 	e.cStatements.Inc()
-	if err := e.Exec(cmd); err != nil {
+	if err := e.dispatch(cmd, input); err != nil {
 		e.cErrors.Inc()
 		return err
 	}
@@ -87,21 +98,117 @@ const helpText = `commands:
 // runs under a "query" root span, so its profile lands in the tracer's
 // ring; `explain` renders that tree instead of discarding it.
 func (e *Executor) Exec(cmd Command) error {
+	return e.dispatch(cmd, "")
+}
+
+// dispatch routes one parsed command; text is the statement as typed
+// (empty when the caller went through Exec directly), carried into the
+// event-log record.
+func (e *Executor) dispatch(cmd Command, text string) error {
 	switch c := cmd.(type) {
 	case StatsCmd:
 		return e.DBMS.Metrics().WriteText(e.Out)
 	case ExplainCmd:
-		root := e.tracer.Begin("query")
-		err := e.exec(c.Inner)
-		root.End()
+		root, err := e.runProfiled(c.Inner, text)
 		if err != nil {
 			return err
 		}
 		return obs.WriteTree(e.Out, root)
 	}
+	_, err := e.runProfiled(cmd, text)
+	return err
+}
+
+// runProfiled executes cmd under a "query" root span with a fresh
+// budget installed on the tracer (ceilings from core.DBMS.QueryBudget;
+// a zero-limit budget still accounts pages for the event record). A
+// breached budget aborts the statement with the typed *obs.BudgetError
+// — either surfaced by a budget-aware layer mid-flight or latched here
+// after commands that bypass those layers — and the statement lands in
+// the event log either way.
+func (e *Executor) runProfiled(cmd Command, text string) (*obs.Span, error) {
+	maxTicks, maxPages := e.DBMS.QueryBudget()
+	budget := obs.NewBudget(maxTicks, maxPages)
+	var before obs.Snapshot
+	if e.events != nil {
+		before = e.DBMS.Metrics()
+	}
+	e.tracer.SetBudget(budget)
 	root := e.tracer.Begin("query")
-	defer root.End()
-	return e.exec(cmd)
+	err := e.exec(cmd)
+	root.End()
+	e.tracer.SetBudget(nil)
+	if err == nil {
+		err = budget.Err()
+	}
+	e.logQuery(text, cmd, root, budget, before, err)
+	return root, err
+}
+
+// logQuery emits one structured record for a finished statement.
+func (e *Executor) logQuery(text string, cmd Command, root *obs.Span, budget *obs.Budget, before obs.Snapshot, err error) {
+	total := root.Total()
+	e.clock += total
+	if e.events == nil {
+		return
+	}
+	if text == "" {
+		text = fmt.Sprintf("%T", cmd)
+	}
+	_, pages := budget.Used()
+	rec := &obs.QueryRecord{
+		Query:      text,
+		TotalTicks: total,
+		Rows:       scanRows(root),
+		Pages:      pages,
+	}
+	after := e.DBMS.Metrics()
+	delta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
+	rec.CacheHits = delta(obs.MSummaryHits)
+	rec.CacheMiss = delta(obs.MSummaryMisses) + delta(obs.MSummaryStaleRefill)
+	switch {
+	case delta(obs.MSummaryIncremental) > 0 || delta(obs.MSummarySlides) > 0:
+		rec.Strategy = "incremental"
+	case delta(obs.MSummaryRecomputes) > 0 || delta(obs.MSummaryMisses) > 0:
+		rec.Strategy = "recompute"
+	case rec.CacheHits > 0:
+		rec.Strategy = "cached"
+	}
+	switch {
+	case delta(obs.MSummaryRecomputeParallel) > 0 || delta(obs.MExecRunsParallel) > 0:
+		rec.Engine = "parallel"
+	case delta(obs.MSummaryRecomputeSerial) > 0 || delta(obs.MExecRunsSerial) > 0:
+		rec.Engine = "serial"
+	}
+	var be *obs.BudgetError
+	if errors.As(err, &be) {
+		rec.Budget = be.Error()
+	} else if err != nil {
+		rec.Err = err.Error()
+	}
+	e.events.Log(obs.Event{Tick: e.clock, Kind: "query", Query: rec})
+}
+
+// scanRows sums the rows attribute over every "scan" span in the tree —
+// the statement's data touched, as the profile saw it.
+func scanRows(s *obs.Span) int64 {
+	if s == nil {
+		return 0
+	}
+	var n int64
+	if s.Name() == "scan" {
+		for _, a := range s.Attrs() {
+			if a.Key == "rows" {
+				var v int64
+				fmt.Sscanf(a.Value, "%d", &v)
+				n += v
+			}
+		}
+	}
+	for _, c := range s.Children() {
+		n += scanRows(c)
+	}
+	return n
 }
 
 // exec dispatches one parsed command inside the caller's span.

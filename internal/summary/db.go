@@ -272,8 +272,17 @@ func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
 	sp.SetAttr("outcome", "miss")
 	e := &entry{fn: fn, attrs: []string{attr}, source: source}
 	xs, valid := db.readSource(source)
+	// Sources cannot return errors, so a budget breached during the scan
+	// surfaces here — before the fold spends more, and before a partial
+	// result is installed in the cache.
+	if err := db.tracer.BudgetErr(); err != nil {
+		return 0, err
+	}
 	v, err := db.computeScalar(fn, xs, valid)
 	if err != nil {
+		return 0, err
+	}
+	if err := db.tracer.BudgetErr(); err != nil {
 		return 0, err
 	}
 	e.result = ScalarOf(v)
@@ -353,6 +362,9 @@ func (db *DB) refreshScalar(e *entry) (float64, error) {
 			e.fn, strings.Join(e.attrs, ","))
 	}
 	xs, valid := db.readSource(e.source)
+	if err := db.tracer.BudgetErr(); err != nil {
+		return 0, err
+	}
 	v, err := db.computeScalar(e.fn, xs, valid)
 	if err != nil {
 		return 0, err

@@ -170,9 +170,13 @@ func (v *View) columnSource(attr string) summary.Source {
 		// for update-driven rebuilds); only the counter needs its lock.
 		v.countScan(attr)
 		if v.store != nil {
-			before := v.store.dev.Stats().Ticks
+			before := v.store.dev.Stats()
 			xs, valid, err := v.store.readColumn(v.data, attr)
-			v.tracer.Charge(v.store.dev.Stats().Ticks - before)
+			after := v.store.dev.Stats()
+			v.tracer.Charge(after.Ticks - before.Ticks)
+			// Page reads are metered against the query budget only; spans
+			// account ticks.
+			v.tracer.ChargePages(after.Reads - before.Reads)
 			if err != nil {
 				return nil, nil
 			}

@@ -30,7 +30,19 @@ for f in $bad; do
 	fi
 done
 
+# net/http is confined to the export layer (internal/obs serves the
+# exposition endpoint) and cmd/statdb (the serve subcommand). Engine,
+# storage and query packages must stay transport-free.
+badhttp=$(grep -rln --include='*.go' --exclude='*_test.go' \
+	-e '"net/http"' \
+	cmd internal examples | grep -v '^internal/obs/' | grep -v '^cmd/statdb/' || true)
+
+for f in $badhttp; do
+	echo "vet-obs: $f imports net/http; the HTTP surface is internal/obs + cmd/statdb only" >&2
+	fail=1
+done
+
 if [ "$fail" != 0 ]; then
 	exit 1
 fi
-echo "vet-obs: ok (raw counter primitives confined to internal/obs)"
+echo "vet-obs: ok (counter primitives confined to internal/obs; net/http confined to internal/obs + cmd/statdb)"
