@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench experiments fmt vet-obs
+.PHONY: build test race check lint bench experiments fmt
 
 build:
 	$(GO) build ./...
@@ -8,20 +8,25 @@ build:
 test:
 	$(GO) test ./...
 
-# Full verification: vet plus the whole suite under the race detector —
-# the parallel execution engine (internal/exec and everything routed
+# Full verification: the whole suite under the race detector — the
+# parallel execution engine (internal/exec and everything routed
 # through it) must stay clean here.
 race:
-	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Observability lint: metric primitives (sync/atomic, expvar) are
-# confined to internal/obs; everything else instruments through the
-# registry so `statdb stats` sees every number.
-vet-obs:
-	sh scripts/vet_obs.sh
+# Static checks: statdb-vet enforces the engine's contracts over the
+# AST (obs/goroutine confinement, no library panics, virtual-clock
+# determinism, errors.Is/As sentinel matching, canonical metric names —
+# see DESIGN.md "Static analysis"), gofmt keeps formatting drift out of
+# review, and go vet catches the stdlib's own suspects.
+lint:
+	$(GO) run ./cmd/statdb-vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need gofmt -w:" >&2; \
+		echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
 
-check: build vet-obs race
+check: build lint race
 
 bench:
 	$(GO) test -bench=. -benchmem .

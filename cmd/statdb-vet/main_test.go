@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture returns the -root argument for one analysis fixture tree.
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", "src", name)
+}
+
+// TestFixturesExitNonzero is the acceptance check: the driver exits 1
+// with a deterministic finding on every fixture package.
+func TestFixturesExitNonzero(t *testing.T) {
+	for _, name := range []string{"obsconfine", "nopanic", "determinism", "sentinel", "goroutine", "metricnames", "suppress"} {
+		var out, errOut bytes.Buffer
+		code := realMain([]string{"-root", fixture(name), "./..."}, &out, &errOut)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1 (stderr: %s)", name, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), ": [") {
+			t.Errorf("%s: no findings printed:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRepoTreeExitZero runs the driver over the real module.
+func TestRepoTreeExitZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := realMain([]string{"-root", filepath.Join("..", ".."), "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d on the repo tree, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "statdb-vet: ok") {
+		t.Errorf("missing ok line:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks the -json flag emits one valid JSON object per
+// finding with the stable field set.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := realMain([]string{"-root", fixture("nopanic"), "-json", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSONL output")
+	}
+	for _, ln := range lines {
+		var f struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+			Rule string `json:"rule"`
+			Msg  string `json:"msg"`
+		}
+		if err := json.Unmarshal([]byte(ln), &f); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		if f.File == "" || f.Line == 0 || f.Rule == "" || f.Msg == "" {
+			t.Errorf("incomplete finding: %q", ln)
+		}
+	}
+}
+
+// TestRulesFlag lists the contracts.
+func TestRulesFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := realMain([]string{"-rules"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, id := range []string{"obs-confine", "no-panic", "determinism", "sentinel-errors", "goroutine-confine", "metric-names"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-rules output missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+// TestBadRootExitTwo pins the load-error exit code.
+func TestBadRootExitTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := realMain([]string{"-root", fixture("no-such-fixture"), "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -23,6 +23,12 @@
 // a given chunk size; core.DBMS.SetParallelism (default GOMAXPROCS,
 // 1 = serial) sizes the pool.
 //
+// The engine's cross-package contracts — virtual-tick determinism,
+// sentinel-error handling, goroutine and observability confinement,
+// canonical metric names — are machine-checked at build time by the
+// AST-based checker in internal/analysis (driver: cmd/statdb-vet,
+// wired into `make lint`).
+//
 // See DESIGN.md for the system inventory and per-experiment index,
 // EXPERIMENTS.md for the measured results, cmd/experiments for the
 // reproduction suite, cmd/statdb for an interactive shell, and

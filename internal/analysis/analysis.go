@@ -1,0 +1,121 @@
+// Package analysis is statdb's built-in static checker: a small,
+// dependency-free framework (stdlib go/parser, go/ast and go/token
+// only) that parses the module's non-test sources and enforces the
+// engine's cross-package contracts at build time.
+//
+// The paper's framework (Section 5) argues that the Management Database
+// must guarantee consistency rules mechanically rather than trusting
+// analysts to follow convention; compiled incremental-view systems
+// (DBToaster, F-IVM) likewise obtain their guarantees from compile-time
+// analysis of the delta programs. This package applies the same idea to
+// the reproduction itself: the invariants PRs 1-4 established — cost is
+// virtual ticks, corruption is a sentinel error, fan-out lives in the
+// audited worker pool, every metric flows through internal/obs — are
+// encoded as AST rules so a violation fails `make lint` instead of
+// surfacing in review.
+//
+// Findings print one per line as
+//
+//	path/file.go:line: [rule-id] message
+//
+// sorted by file, line, column and rule, so output is deterministic and
+// golden-testable. A site that intentionally breaks a rule carries an
+// inline suppression
+//
+//	//lint:allow <rule-id> <reason>
+//
+// on the offending line or the line above it. The reason is mandatory
+// (a bare allow is itself a finding) and a directive that suppresses
+// nothing is reported as unused, so the allowlist cannot rot.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation (or directive problem) at a position.
+type Finding struct {
+	File string `json:"file"` // module-root-relative, forward slashes
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// String renders the canonical single-line form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// Reporter collects findings during a run. Rules report through it so
+// position translation and ordering live in one place.
+type Reporter struct {
+	tree     *Tree
+	findings []Finding
+}
+
+// Reportf records a finding for rule at pos.
+func (r *Reporter) Reportf(rule string, pos token.Pos, format string, args ...any) {
+	p := r.tree.Fset.Position(pos)
+	r.findings = append(r.findings, Finding{
+		File: r.tree.relPath(p.Filename),
+		Line: p.Line,
+		Col:  p.Column,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the rules over the tree, applies //lint:allow
+// suppressions, and returns the surviving findings in deterministic
+// order (file, line, column, rule, message).
+func Run(t *Tree, rules []Rule) []Finding {
+	rep := &Reporter{tree: t}
+	known := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		known[r.ID()] = true
+	}
+	for _, r := range rules {
+		r.Check(t, rep)
+	}
+
+	directives, dirFindings := scanDirectives(t, known)
+	kept := dirFindings
+	for _, f := range rep.findings {
+		if suppress(directives, f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, d := range directives {
+		if d.valid && !d.used {
+			kept = append(kept, Finding{
+				File: d.file, Line: d.line, Col: d.col, Rule: directiveRule,
+				Msg: fmt.Sprintf("unused //lint:allow %s: no %s finding on this or the next line", d.rule, d.rule),
+			})
+		}
+	}
+	sortFindings(kept)
+	return kept
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed non-test source file.
+type File struct {
+	Rel string // root-relative path, forward slashes
+	Ast *ast.File
+}
+
+// Package groups the files of one directory.
+type Package struct {
+	Rel   string // root-relative directory, forward slashes ("." for root)
+	Files []*File
+}
+
+// Tree is a parsed source tree rooted at a module (or fixture) root.
+// Rules see the tree exactly as the build does, minus _test.go files:
+// testdata, vendor, hidden and underscore-prefixed directories are
+// skipped.
+type Tree struct {
+	Root string
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// relPath converts an absolute file name from the FileSet back to the
+// root-relative, slash-separated form findings use.
+func (t *Tree) relPath(name string) string {
+	if rel, err := filepath.Rel(t.Root, name); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
+}
+
+// NumFiles returns the number of parsed files.
+func (t *Tree) NumFiles() int {
+	n := 0
+	for _, p := range t.Pkgs {
+		n += len(p.Files)
+	}
+	return n
+}
+
+// Load parses the tree under root restricted to patterns. Each pattern
+// is a root-relative directory; a trailing "/..." (or the bare "./...")
+// selects the whole subtree. No patterns means "./...".
+func Load(root string, patterns ...string) (*Tree, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs := map[string]bool{} // root-relative dir -> recursive?
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		key := pat
+		if recursive {
+			key += "/..."
+		}
+		dirs[key] = recursive
+	}
+
+	t := &Tree{Root: absRoot, Fset: token.NewFileSet()}
+	byDir := map[string]*Package{}
+	for key, recursive := range dirs {
+		dir := strings.TrimSuffix(key, "/...")
+		start := filepath.Join(absRoot, filepath.FromSlash(dir))
+		info, err := os.Stat(start)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("analysis: %s is not a directory", dir)
+		}
+		if err := loadDir(t, byDir, start, recursive); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range byDir {
+		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Rel < p.Files[j].Rel })
+		t.Pkgs = append(t.Pkgs, p)
+	}
+	sort.Slice(t.Pkgs, func(i, j int) bool { return t.Pkgs[i].Rel < t.Pkgs[j].Rel })
+	return t, nil
+}
+
+// skipDir reports whether a directory is outside the checked tree,
+// mirroring the go tool's package-pattern conventions.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+func loadDir(t *Tree, byDir map[string]*Package, dir string, recursive bool) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			if recursive && !skipDir(name) {
+				if err := loadDir(t, byDir, filepath.Join(dir, name), true); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(t.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
+		relDir := t.relPath(dir)
+		pkg := byDir[relDir]
+		if pkg == nil {
+			pkg = &Package{Rel: relDir}
+			byDir[relDir] = pkg
+		}
+		pkg.Files = append(pkg.Files, &File{Rel: t.relPath(path), Ast: f})
+	}
+	return nil
+}
+
+// underDir reports whether rel (a package directory) is dir or below it.
+func underDir(rel, dir string) bool {
+	return rel == dir || strings.HasPrefix(rel, dir+"/")
+}
+
+// importsPath returns the ImportSpec of f importing path, or nil.
+func importsPath(f *ast.File, path string) *ast.ImportSpec {
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"`+path+`"` {
+			return imp
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Determinism (R3) protects the virtual-clock discipline of PR 1: the
+// engine packages charge cost in deterministic ticks, so their
+// snapshots, goldens and experiment tables are bit-identical across
+// machines. Wall-clock reads (time.Now, time.Since) and math/rand in
+// those packages would silently break that; wall time belongs to
+// cmd/statdb (the serve loop) and the obs sampler's caller, which
+// passes elapsed milliseconds in.
+type Determinism struct{}
+
+// deterministicDirs are the engine packages whose outputs must be a
+// pure function of inputs and configuration.
+var deterministicDirs = []string{
+	"internal/exec",
+	"internal/summary",
+	"internal/medwin",
+	"internal/incr",
+	"internal/stats",
+	"internal/colstore",
+	"internal/query",
+}
+
+// ID implements Rule.
+func (Determinism) ID() string { return "determinism" }
+
+// Doc implements Rule.
+func (Determinism) Doc() string {
+	return "no time.Now/time.Since/math/rand in the deterministic engine packages (PR 1 contract)"
+}
+
+// Check implements Rule.
+func (Determinism) Check(t *Tree, rep *Reporter) {
+	for _, pkg := range t.Pkgs {
+		deterministic := false
+		for _, dir := range deterministicDirs {
+			if underDir(pkg.Rel, dir) {
+				deterministic = true
+				break
+			}
+		}
+		if !deterministic {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				if imp := importsPath(f.Ast, path); imp != nil {
+					rep.Reportf("determinism", imp.Pos(),
+						"import of %s in deterministic engine package %s", path, pkg.Rel)
+				}
+			}
+			if importsPath(f.Ast, "time") == nil {
+				continue
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != "time" {
+					return true
+				}
+				if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+					rep.Reportf("determinism", sel.Pos(),
+						"time.%s in deterministic engine package %s; cost is virtual ticks, never wall time", sel.Sel.Name, pkg.Rel)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoroutineConfine (R5) keeps all fan-out inside the race-audited
+// surfaces: internal/exec owns the worker pool (`make race` hammers
+// it), internal/obs's handles are lock-free by design, and cmd/statdb
+// runs the serve loop's ticker and shutdown goroutines. A `go`
+// statement anywhere else creates concurrency the determinism contract
+// and the race suite never see — such work must be expressed as
+// exec.Pool chunks instead.
+type GoroutineConfine struct{}
+
+// goroutineDirs are the packages allowed to spawn goroutines.
+var goroutineDirs = []string{
+	"internal/exec",
+	"internal/obs",
+	"cmd/statdb",
+}
+
+// ID implements Rule.
+func (GoroutineConfine) ID() string { return "goroutine-confine" }
+
+// Doc implements Rule.
+func (GoroutineConfine) Doc() string {
+	return "go statements only in internal/exec, internal/obs and cmd/statdb; fan out via exec.Pool (PR 1 contract)"
+}
+
+// Check implements Rule.
+func (GoroutineConfine) Check(t *Tree, rep *Reporter) {
+	for _, pkg := range t.Pkgs {
+		allowed := false
+		for _, dir := range goroutineDirs {
+			if underDir(pkg.Rel, dir) {
+				allowed = true
+				break
+			}
+		}
+		if allowed {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					rep.Reportf("goroutine-confine", g.Pos(),
+						"go statement outside the audited concurrency surfaces; run the work as exec.Pool chunks")
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// MetricNames (R6) guards the exposition surface of PR 4: every
+// instrument registration (Registry.Counter/Gauge/Histogram) passes
+// either a canonical string literal or a named constant (the obs.M*
+// names), and the canonical form is dotted lower-case —
+// [a-z0-9_] segments joined by single dots. Snapshot.WritePrometheus
+// maps '.' to '_', so a name of this shape can never emit an invalid
+// Prometheus metric name; a computed or mixed-case name could.
+type MetricNames struct{}
+
+// metricNameForm is the canonical dotted lower-case shape.
+var metricNameForm = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+
+// registrationMethods are the obs.Registry methods that take a metric
+// name as their first argument.
+var registrationMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// ID implements Rule.
+func (MetricNames) ID() string { return "metric-names" }
+
+// Doc implements Rule.
+func (MetricNames) Doc() string {
+	return "instrument registrations use literal or obs.M* names of the form [a-z0-9_.]+ (PR 3/4 contract)"
+}
+
+// Check implements Rule.
+func (MetricNames) Check(t *Tree, rep *Reporter) {
+	for _, pkg := range t.Pkgs {
+		for _, f := range pkg.Files {
+			// The canonical name table itself: every string constant in
+			// internal/obs/names.go must already be canonical, since the
+			// call-site check trusts named constants.
+			if f.Rel == "internal/obs/names.go" {
+				checkNameTable(f, rep)
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !registrationMethods[sel.Sel.Name] {
+					return true
+				}
+				switch arg := call.Args[0].(type) {
+				case *ast.BasicLit:
+					if arg.Kind != token.STRING {
+						return true
+					}
+					name, err := strconv.Unquote(arg.Value)
+					if err != nil || !metricNameForm.MatchString(name) {
+						rep.Reportf("metric-names", arg.Pos(),
+							"metric name %s is not canonical [a-z0-9_.]+; it would break Prometheus exposition", arg.Value)
+					}
+				case *ast.Ident, *ast.SelectorExpr:
+					// A named constant (obs.MExecChunks et al.) — the name
+					// table check above keeps those canonical.
+				default:
+					rep.Reportf("metric-names", call.Args[0].Pos(),
+						"%s registration with a computed name; pass a string literal or an obs.M* constant", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkNameTable validates every string constant in the canonical name
+// file.
+func checkNameTable(f *File, rep *Reporter) {
+	for _, decl := range f.Ast.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil || !metricNameForm.MatchString(name) {
+					rep.Reportf("metric-names", lit.Pos(),
+						"canonical name constant %s is not [a-z0-9_.]+", lit.Value)
+				}
+			}
+		}
+	}
+}

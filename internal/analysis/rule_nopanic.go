@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoPanic (R2) keeps PR 2's conversion converted: library code under
+// internal/ reports failures as errors (ErrCorrupt, ErrTransient,
+// wrapped causes), never panics. Data-dependent conditions — a torn
+// page, a truncated tape block — must flow through the sentinel-error
+// degrade paths so the Summary Database and recovery logic can act on
+// them.
+//
+// Two escapes exist for genuine programmer-error invariants:
+// functions whose names start with "Must" (the regexp.MustCompile
+// idiom — MustSchema, MustDefine) are exempt by design, and any other
+// site needs an inline //lint:allow no-panic <reason>.
+type NoPanic struct{}
+
+// ID implements Rule.
+func (NoPanic) ID() string { return "no-panic" }
+
+// Doc implements Rule.
+func (NoPanic) Doc() string {
+	return "no panic calls in library code under internal/; return sentinel errors (PR 2 contract)"
+}
+
+// Check implements Rule.
+func (NoPanic) Check(t *Tree, rep *Reporter) {
+	for _, pkg := range t.Pkgs {
+		if !underDir(pkg.Rel, "internal") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Ast.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Must") {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						rep.Reportf("no-panic", call.Pos(),
+							"panic in library code; return an error (ErrCorrupt-style sentinel for data faults)")
+					}
+					return true
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+// ObsConfine (R1) is the AST-accurate successor of the retired
+// scripts/vet_obs.sh grep: all metric primitives live in internal/obs.
+// No other package may import sync/atomic or expvar to roll its own
+// counters; instrumentation goes through obs.Registry so every number
+// shows up in `statdb stats` and DBMS.Metrics(). Likewise net/http is
+// confined to the export layer (internal/obs serves the exposition
+// endpoint) and cmd/statdb (the serve subcommand): engine, storage and
+// query packages stay transport-free.
+type ObsConfine struct{}
+
+// ID implements Rule.
+func (ObsConfine) ID() string { return "obs-confine" }
+
+// Doc implements Rule.
+func (ObsConfine) Doc() string {
+	return "sync/atomic and expvar only in internal/obs; net/http only in internal/obs and cmd/statdb (PR 3/4 contract)"
+}
+
+// atomicFileAllow carries over the grep script's allowlist: files that
+// may import sync/atomic for non-metric uses, with the reason recorded
+// so the exemption stays reviewable.
+var atomicFileAllow = map[string]string{
+	// The worker pool uses atomic.Int64 as its chunk-dispatch cursor,
+	// which is work distribution, not a metric.
+	"internal/exec/exec.go": "chunk-dispatch cursor",
+}
+
+// Check implements Rule.
+func (ObsConfine) Check(t *Tree, rep *Reporter) {
+	for _, pkg := range t.Pkgs {
+		inObs := underDir(pkg.Rel, "internal/obs")
+		httpOK := inObs || underDir(pkg.Rel, "cmd/statdb")
+		for _, f := range pkg.Files {
+			if !inObs {
+				for _, path := range []string{"sync/atomic", "expvar"} {
+					imp := importsPath(f.Ast, path)
+					if imp == nil {
+						continue
+					}
+					if _, ok := atomicFileAllow[f.Rel]; ok && path == "sync/atomic" {
+						continue
+					}
+					rep.Reportf("obs-confine", imp.Pos(),
+						"import of %s outside internal/obs; instrument through obs.Registry instead", path)
+				}
+			}
+			if !httpOK {
+				if imp := importsPath(f.Ast, "net/http"); imp != nil {
+					rep.Reportf("obs-confine", imp.Pos(),
+						"import of net/http outside internal/obs and cmd/statdb; the HTTP surface is the export layer only")
+				}
+			}
+		}
+	}
+}

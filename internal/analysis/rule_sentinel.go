@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SentinelErrors (R4) enforces PR 2's error-handling contract: the
+// storage sentinels ErrCorrupt and ErrTransient travel wrapped (the
+// CorruptError carries page/slot identity, retry layers add context),
+// so callers must match them with errors.Is — a == comparison silently
+// stops matching the moment a layer wraps the error. The same applies
+// to the typed budget abort: *obs.BudgetError is extracted with
+// errors.As, never a type assertion or type switch on the concrete
+// type.
+type SentinelErrors struct{}
+
+// ID implements Rule.
+func (SentinelErrors) ID() string { return "sentinel-errors" }
+
+// Doc implements Rule.
+func (SentinelErrors) Doc() string {
+	return "match ErrCorrupt/ErrTransient with errors.Is and *obs.BudgetError with errors.As (PR 2/4 contract)"
+}
+
+// sentinelName reports whether e names one of the storage sentinels,
+// directly (ErrCorrupt) or qualified (storage.ErrCorrupt).
+func sentinelName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.Name == "ErrCorrupt" || x.Name == "ErrTransient" {
+			return x.Name
+		}
+	case *ast.SelectorExpr:
+		return sentinelName(x.Sel)
+	}
+	return ""
+}
+
+// namesBudgetError reports whether e is *BudgetError or
+// *pkg.BudgetError.
+func namesBudgetError(e ast.Expr) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch x := star.X.(type) {
+	case *ast.Ident:
+		return x.Name == "BudgetError"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "BudgetError"
+	}
+	return false
+}
+
+// Check implements Rule.
+func (SentinelErrors) Check(t *Tree, rep *Reporter) {
+	for _, pkg := range t.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.BinaryExpr:
+					if x.Op != token.EQL && x.Op != token.NEQ {
+						return true
+					}
+					name := sentinelName(x.X)
+					if name == "" {
+						name = sentinelName(x.Y)
+					}
+					if name != "" {
+						rep.Reportf("sentinel-errors", x.Pos(),
+							"%s comparison against %s; wrapped errors will not match, use errors.Is", x.Op, name)
+					}
+				case *ast.TypeAssertExpr:
+					if x.Type != nil && namesBudgetError(x.Type) {
+						rep.Reportf("sentinel-errors", x.Pos(),
+							"type assertion on *BudgetError; wrapped errors will not match, use errors.As")
+					}
+				case *ast.TypeSwitchStmt:
+					for _, stmt := range x.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, typ := range cc.List {
+							if namesBudgetError(typ) {
+								rep.Reportf("sentinel-errors", typ.Pos(),
+									"type switch on *BudgetError; wrapped errors will not match, use errors.As")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

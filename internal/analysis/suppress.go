@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// directiveRule is the pseudo-rule under which problems with the
+// //lint:allow directives themselves are reported. It cannot be
+// suppressed (a broken directive must be fixed, not allowed).
+const directiveRule = "lint-directive"
+
+// allowPrefix is the directive marker. The comment must start exactly
+// with this (no space after //, matching Go's //go: convention).
+const allowPrefix = "//lint:allow"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	file   string
+	line   int
+	col    int
+	rule   string
+	reason string
+	valid  bool // well-formed and names a known rule
+	used   bool // suppressed at least one finding
+}
+
+// scanDirectives extracts every //lint:allow directive in the tree and
+// reports malformed ones (missing rule, missing reason, unknown rule)
+// as findings under the lint-directive pseudo-rule.
+func scanDirectives(t *Tree, known map[string]bool) ([]*directive, []Finding) {
+	var dirs []*directive
+	var findings []Finding
+	for _, pkg := range t.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Ast.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					pos := t.Fset.Position(c.Pos())
+					d := &directive{file: f.Rel, line: pos.Line, col: pos.Column}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+					fields := strings.SplitN(rest, " ", 2)
+					switch {
+					case rest == "":
+						findings = append(findings, Finding{
+							File: d.file, Line: d.line, Col: d.col, Rule: directiveRule,
+							Msg: "//lint:allow needs a rule id and a reason",
+						})
+					case len(fields) < 2 || strings.TrimSpace(fields[1]) == "":
+						d.rule = fields[0]
+						findings = append(findings, Finding{
+							File: d.file, Line: d.line, Col: d.col, Rule: directiveRule,
+							Msg: "//lint:allow " + d.rule + " needs a reason: //lint:allow " + d.rule + " <why this site is exempt>",
+						})
+					case !known[fields[0]]:
+						d.rule = fields[0]
+						findings = append(findings, Finding{
+							File: d.file, Line: d.line, Col: d.col, Rule: directiveRule,
+							Msg: "//lint:allow names unknown rule " + d.rule,
+						})
+					default:
+						d.rule = fields[0]
+						d.reason = strings.TrimSpace(fields[1])
+						d.valid = true
+					}
+					dirs = append(dirs, d)
+				}
+			}
+		}
+	}
+	return dirs, findings
+}
+
+// suppress reports whether a valid directive covers the finding: same
+// rule, same file, and the directive sits on the finding's line (a
+// trailing comment) or the line directly above it. Matching directives
+// are marked used.
+func suppress(dirs []*directive, f Finding) bool {
+	hit := false
+	for _, d := range dirs {
+		if !d.valid || d.rule != f.Rule || d.file != f.File {
+			continue
+		}
+		if d.line == f.Line || d.line == f.Line-1 {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}

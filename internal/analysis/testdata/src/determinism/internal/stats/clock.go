@@ -1,0 +1,16 @@
+// Package stats is a determinism fixture: an engine package reading
+// wall clocks and unseeded randomness.
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter breaks the virtual-clock contract three ways: the math/rand
+// import, time.Now and time.Since.
+func Jitter() time.Duration {
+	start := time.Now()
+	_ = rand.Int()
+	return time.Since(start)
+}

@@ -1,0 +1,19 @@
+// Package storage is a metric-names fixture: registrations with
+// non-canonical and computed names.
+package storage
+
+// registry is the minimal shape of obs.Registry the rule keys on.
+type registry struct{}
+
+func (registry) Counter(name string) int                   { return len(name) }
+func (registry) Gauge(name string) int                     { return len(name) }
+func (registry) Histogram(name string, bounds []int64) int { return len(name) }
+
+// Wire registers one canonical and three broken instruments.
+func Wire(prefix string) {
+	var reg registry
+	reg.Counter("storage.pool.hits")         // canonical: no finding
+	reg.Counter("Storage.Pool.Hits")         // mixed case
+	reg.Gauge("storage..inflight")           // empty segment
+	reg.Histogram(prefix+".pass_ticks", nil) // computed name
+}

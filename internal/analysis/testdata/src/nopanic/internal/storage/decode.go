@@ -1,0 +1,21 @@
+// Package storage is a no-panic fixture: a decode path that explodes
+// on malformed input instead of returning an ErrCorrupt-style sentinel.
+package storage
+
+import "fmt"
+
+// DecodeRow panics on short input; the rule must flag it.
+func DecodeRow(b []byte) []byte {
+	if len(b) < 4 {
+		panic(fmt.Sprintf("storage: short row %d", len(b)))
+	}
+	return b[4:]
+}
+
+// MustDecodeRow is exempt by the Must* constructor idiom; no finding.
+func MustDecodeRow(b []byte) []byte {
+	if len(b) < 4 {
+		panic("storage: short row")
+	}
+	return b[4:]
+}

@@ -1,0 +1,10 @@
+// Package query is an obs-confine fixture: the query layer grows its
+// own HTTP surface instead of leaving transport to the export layer.
+package query
+
+import "net/http"
+
+// Serve is the violation: net/http outside internal/obs and cmd/statdb.
+func Serve(addr string) error {
+	return http.ListenAndServe(addr, nil)
+}

@@ -1,0 +1,14 @@
+// Package summary is an obs-confine fixture: it rolls its own counter
+// primitives instead of registering through obs.Registry.
+package summary
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// Hits is a hand-rolled atomic counter the rule must flag.
+var Hits atomic.Int64
+
+// Published is a hand-rolled expvar the rule must flag.
+var Published = expvar.NewInt("summary_hits")

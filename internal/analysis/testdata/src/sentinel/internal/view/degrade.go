@@ -1,0 +1,25 @@
+// Package view is a sentinel-errors fixture: it matches the storage
+// sentinels and the typed budget abort without errors.Is / errors.As.
+package view
+
+import (
+	"statdb/internal/obs"
+	"statdb/internal/storage"
+)
+
+// Degrade matches sentinels the fragile way; every branch is a finding.
+func Degrade(err error) string {
+	if err == storage.ErrCorrupt {
+		return "corrupt"
+	}
+	if storage.ErrTransient != err {
+		switch err.(type) {
+		case *obs.BudgetError:
+			return "budget"
+		}
+	}
+	if _, ok := err.(*obs.BudgetError); ok {
+		return "budget"
+	}
+	return "ok"
+}

@@ -1,0 +1,49 @@
+// Package storage is the suppression fixture: well-formed, bare,
+// stale and unknown-rule //lint:allow directives.
+package storage
+
+// boot panics behind a documented trailing suppression: no finding.
+func boot(n int) {
+	if n < 0 {
+		panic("storage: negative boot size") //lint:allow no-panic constructor invariant: caller bug, not a data fault
+	}
+}
+
+// above carries the suppression on the line above the panic: no
+// finding either.
+func above(n int) {
+	if n < 0 {
+		//lint:allow no-panic invariant documented in DESIGN.md
+		panic("storage: negative size in above")
+	}
+}
+
+// bare has an allow with no reason: the directive is a finding and the
+// panic stays reported.
+func bare(n int) {
+	if n < 0 {
+		panic("storage: negative size") //lint:allow no-panic
+	}
+}
+
+// stale sits above code that no longer panics: an unused directive is
+// reported so the allowlist cannot rot.
+func stale(n int) int {
+	//lint:allow no-panic decode guards this path
+	return n + 1
+}
+
+// mystery names a rule that does not exist.
+func mystery(n int) int {
+	//lint:allow no-retries decode guards this path
+	return n + 1
+}
+
+// use keeps the helpers referenced.
+func use() {
+	boot(1)
+	above(1)
+	bare(1)
+	_ = stale(1)
+	_ = mystery(1)
+}

@@ -92,8 +92,8 @@ func (t *CodeTable) Dataset() *Dataset {
 	)
 	ds := New(sch)
 	for _, c := range t.Codes() {
-		// Codes() only returns defined codes, so the append cannot fail.
 		if err := ds.Append(Row{Int(c), String(t.labels[c])}); err != nil {
+			//lint:allow no-panic Codes() only returns defined codes, so the append cannot fail
 			panic(err)
 		}
 	}

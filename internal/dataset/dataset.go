@@ -233,6 +233,7 @@ func (d *Dataset) Clone() *Dataset {
 func (d *Dataset) Ints(col int) ([]int64, []bool) {
 	c := d.cols[col]
 	if c.kind != KindInt {
+		//lint:allow no-panic documented bulk-accessor contract: kind mismatch is a caller bug
 		panic(fmt.Sprintf("dataset: Ints on %s column %q", c.kind, d.schema.At(col).Name))
 	}
 	return c.ints, c.valid
@@ -243,6 +244,7 @@ func (d *Dataset) Ints(col int) ([]int64, []bool) {
 func (d *Dataset) Floats(col int) ([]float64, []bool) {
 	c := d.cols[col]
 	if c.kind != KindFloat {
+		//lint:allow no-panic documented bulk-accessor contract: kind mismatch is a caller bug
 		panic(fmt.Sprintf("dataset: Floats on %s column %q", c.kind, d.schema.At(col).Name))
 	}
 	return c.flts, c.valid
@@ -253,6 +255,7 @@ func (d *Dataset) Floats(col int) ([]float64, []bool) {
 func (d *Dataset) Strings(col int) ([]string, []bool) {
 	c := d.cols[col]
 	if c.kind != KindString {
+		//lint:allow no-panic documented bulk-accessor contract: kind mismatch is a caller bug
 		panic(fmt.Sprintf("dataset: Strings on %s column %q", c.kind, d.schema.At(col).Name))
 	}
 	return c.strs, c.valid

@@ -91,6 +91,7 @@ func (v Value) IsNull() bool { return v.kind == KindInvalid }
 // when the type is not statically known.
 func (v Value) AsInt() int64 {
 	if v.kind != KindInt {
+		//lint:allow no-panic documented accessor contract (see note above): kind mismatch is a caller bug
 		panic(fmt.Sprintf("dataset: AsInt on %s value", v.kind))
 	}
 	return v.i
@@ -106,6 +107,7 @@ func (v Value) AsFloat() float64 {
 	case KindInt:
 		return float64(v.i)
 	default:
+		//lint:allow no-panic documented accessor contract (see AsInt): kind mismatch is a caller bug
 		panic(fmt.Sprintf("dataset: AsFloat on %s value", v.kind))
 	}
 }
@@ -114,6 +116,7 @@ func (v Value) AsFloat() float64 {
 // string — an API invariant (see AsInt).
 func (v Value) AsString() string {
 	if v.kind != KindString {
+		//lint:allow no-panic documented accessor contract (see AsInt): kind mismatch is a caller bug
 		panic(fmt.Sprintf("dataset: AsString on %s value", v.kind))
 	}
 	return v.s
@@ -168,6 +171,7 @@ func (v Value) Compare(o Value) int {
 				return 0
 			}
 		}
+		//lint:allow no-panic documented contract (see AsInt): comparing incompatible kinds is a caller bug
 		panic(fmt.Sprintf("dataset: Compare %s with %s", v.kind, o.kind))
 	}
 	switch v.kind {

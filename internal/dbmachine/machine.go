@@ -14,15 +14,17 @@
 // would do serially is divided across P processors, with per-row
 // processing charged on the machine's own virtual clock and only
 // qualifying rows shipped to the host. Aggregates additionally run on
-// real goroutines (one per simulated processor), so the parallel merge
-// logic is genuinely exercised.
+// real goroutines (one per simulated processor) dispatched through the
+// shared chunked-execution pool (internal/exec — the goroutine-confine
+// contract keeps all fan-out inside that race-audited surface), so the
+// parallel merge logic is genuinely exercised.
 package dbmachine
 
 import (
 	"fmt"
-	"sync"
 
 	"statdb/internal/dataset"
+	"statdb/internal/exec"
 	"statdb/internal/relalg"
 	"statdb/internal/tape"
 )
@@ -69,7 +71,8 @@ func (s Stats) Total() int64 { return s.MachineTicks + s.HostTicks }
 
 // Machine is a configured processor array.
 type Machine struct {
-	cfg Config
+	cfg  Config
+	pool *exec.Pool
 }
 
 // New creates a machine.
@@ -77,7 +80,7 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Machine{cfg: cfg}, nil
+	return &Machine{cfg: cfg, pool: exec.New(cfg.Processors)}, nil
 }
 
 // Processors returns the array width.
@@ -155,35 +158,38 @@ func (m *Machine) Aggregate(kind AggregateKind, xs []float64, valid []bool) (flo
 		any      bool
 	}
 	parts := make([]part, p)
-	var wg sync.WaitGroup
+	// One range per simulated processor, same boundaries the dedicated
+	// goroutines used; the pool runs them on real workers and the merge
+	// below stays in fixed processor order.
+	ranges := make([]exec.Range, p)
 	for w := 0; w < p; w++ {
-		lo, hi := n*w/p, n*(w+1)/p
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			pt := part{}
-			for i := lo; i < hi; i++ {
-				if valid != nil && !valid[i] {
-					continue
-				}
-				x := xs[i]
-				if !pt.any {
-					pt.min, pt.max, pt.any = x, x, true
-				} else {
-					if x < pt.min {
-						pt.min = x
-					}
-					if x > pt.max {
-						pt.max = x
-					}
-				}
-				pt.sum += x
-				pt.count++
-			}
-			parts[w] = pt
-		}(w, lo, hi)
+		ranges[w] = exec.Range{Lo: n * w / p, Hi: n * (w + 1) / p}
 	}
-	wg.Wait()
+	if err := m.pool.RunRanges(ranges, func(c int, r exec.Range) error {
+		pt := part{}
+		for i := r.Lo; i < r.Hi; i++ {
+			if valid != nil && !valid[i] {
+				continue
+			}
+			x := xs[i]
+			if !pt.any {
+				pt.min, pt.max, pt.any = x, x, true
+			} else {
+				if x < pt.min {
+					pt.min = x
+				}
+				if x > pt.max {
+					pt.max = x
+				}
+			}
+			pt.sum += x
+			pt.count++
+		}
+		parts[c] = pt
+		return nil
+	}); err != nil {
+		return 0, Stats{}, err
+	}
 
 	merged := part{}
 	for _, pt := range parts {

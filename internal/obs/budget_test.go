@@ -63,10 +63,10 @@ func TestTracerBudgetPlumbing(t *testing.T) {
 	tr.SetBudget(b)
 
 	sp := tr.Begin("q")
-	sp.Charge(4)   // via span
-	tr.Charge(3)   // via tracer, attributed to innermost
+	sp.Charge(4) // via span
+	tr.Charge(3) // via tracer, attributed to innermost
 	sp.End()
-	tr.Charge(5)   // no open span: still billed to the budget
+	tr.Charge(5) // no open span: still billed to the budget
 	tr.ChargePages(2)
 
 	ticks, pages := b.Used()

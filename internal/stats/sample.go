@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	//lint:allow determinism every sampler takes an explicit seed, so draws are reproducible by construction
 	"math/rand"
 	"sort"
 

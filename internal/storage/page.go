@@ -43,6 +43,7 @@ type Page struct {
 // ownership; Page methods mutate it in place.
 func NewPage(buf []byte) *Page {
 	if len(buf) != PageSize {
+		//lint:allow no-panic buffer-size invariant is a caller bug; data faults return ErrCorrupt
 		panic(fmt.Sprintf("storage: NewPage with %d bytes", len(buf)))
 	}
 	return &Page{buf: buf}
