@@ -23,6 +23,7 @@ var deterministicDirs = []string{
 	"internal/stats",
 	"internal/colstore",
 	"internal/query",
+	"internal/relalg",
 }
 
 // ID implements Rule.

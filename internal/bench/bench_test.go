@@ -331,6 +331,37 @@ func TestE15ShapeOverheadSmall(t *testing.T) {
 	}
 }
 
+func TestE16ShapeRunStrategy(t *testing.T) {
+	tab, err := E16RunStrategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 columns measured, got %d", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		if tab.Rows[r][9] != "yes" {
+			t.Errorf("row %d (%s): run answers diverged from row answers", r, tab.Rows[r][0])
+		}
+		// The tick half is deterministic: rows/runs exactly.
+		rows, runs := cell(t, tab, r, 1), cell(t, tab, r, 2)
+		if tick := cell(t, tab, r, 5); tick != rows/runs {
+			t.Errorf("row %d: tick speedup %gx, want exactly rows/runs = %gx", r, tick, rows/runs)
+		}
+		if tick := cell(t, tab, r, 5); tick < 10 {
+			t.Errorf("row %d: tick speedup %gx, claim needs >= 10x", r, tick)
+		}
+		// Wall clock is noisy on shared CI; the measured margins (37x on
+		// the worst column) leave plenty of headroom over the 10x claim.
+		if wall := cell(t, tab, r, 8); wall < 10 {
+			t.Errorf("row %d: wall speedup %gx, claim needs >= 10x", r, wall)
+		}
+	}
+	if strings.Contains(tab.Finding, "CLAIM FAILED") {
+		t.Errorf("finding reports failure: %s", tab.Finding)
+	}
+}
+
 func TestA1ShapeClusteredScan(t *testing.T) {
 	tab, err := AblationClustering()
 	if err != nil {

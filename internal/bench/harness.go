@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"E13", E13ParallelEngine},
 		{"E14", E14RecoveryCost},
 		{"E15", E15ObsOverhead},
+		{"E16", E16RunStrategy},
 		{"A1", AblationClustering},
 		{"A2", AblationWindowWidth},
 		{"A3", AblationAutoReorg},

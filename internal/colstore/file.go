@@ -44,6 +44,7 @@ type columnMeta struct {
 	pages    []storage.PageID
 	rowStart []int // first logical row of each page
 	rows     int
+	runs     int              // RLE: coalesced logical runs (maintained by writeRLEPages)
 	dict     []string         // string columns: id -> label
 	dictIdx  map[string]int64 // string columns: label -> id
 }
@@ -166,11 +167,18 @@ func encodePlainPage(buf []byte, vals []int64, nulls []bool) {
 }
 
 func decodePlainPage(buf []byte) (vals []int64, nulls []bool) {
+	return decodePlainPageInto(buf, nil, nil)
+}
+
+// decodePlainPageInto is decodePlainPage reusing the caller's scratch
+// slices (grown as needed) — the per-page allocation is the dominant
+// cost of a chunked scan over a hot buffer pool (BenchmarkScanChunks).
+func decodePlainPageInto(buf []byte, vals []int64, nulls []bool) ([]int64, []bool) {
 	n := int(buf[0]) | int(buf[1])<<8
 	bitmap := buf[2 : 2+plainCap/8]
 	data := buf[2+plainCap/8:]
-	vals = make([]int64, n)
-	nulls = make([]bool, n)
+	vals = growInt64(vals, n)
+	nulls = growBool(nulls, n)
 	for i := 0; i < n; i++ {
 		var u uint64
 		for b := 0; b < 8; b++ {
@@ -187,9 +195,13 @@ func writeRLEPages(pool *storage.BufferPool, meta *columnMeta, vals []int64, nul
 	for i := range vals {
 		runs = appendRuns(runs, vals[i], nulls[i])
 	}
+	meta.runs = len(runs)
 	// Pack runs into pages greedily; split runs that cross a page
-	// boundary.
+	// boundary. The header stores the page's logical row count in 16
+	// bits, so a page also closes at 65535 logical rows no matter how
+	// few bytes its runs occupy (a constant column is one 21-byte run).
 	const header = 4
+	const maxPageLogical = 0xFFFF
 	flush := func(pageRuns []run, logical, firstRow int) error {
 		id, page, err := pool.NewPage()
 		if err != nil {
@@ -218,20 +230,26 @@ func writeRLEPages(pool *storage.BufferPool, meta *columnMeta, vals []int64, nul
 	for _, r := range runs {
 		for r.count > 0 {
 			need := r.encodedLen()
-			if used+need > storage.PagePayloadSize && len(pageRuns) > 0 {
+			if (used+need > storage.PagePayloadSize || logical >= maxPageLogical) && len(pageRuns) > 0 {
 				if err := flush(pageRuns, logical, firstRow); err != nil {
 					return err
 				}
 				pageRuns, used, logical, firstRow = nil, header, 0, rowCur
 				continue
 			}
-			// Whole run fits (a single run encodes in <= 21 bytes, far
-			// under a page, so it always fits in an empty page).
-			pageRuns = append(pageRuns, r)
-			used += need
-			logical += r.count
-			rowCur += r.count
-			r.count = 0
+			// Take as much of the run as the logical cap allows; a
+			// single run encodes in <= 21 bytes, so byte space never
+			// blocks an empty page. ScanRunChunks coalesces the split
+			// back together on read.
+			part := r
+			if logical+part.count > maxPageLogical {
+				part.count = maxPageLogical - logical
+			}
+			pageRuns = append(pageRuns, part)
+			used += part.encodedLen()
+			logical += part.count
+			rowCur += part.count
+			r.count -= part.count
 		}
 	}
 	if len(pageRuns) > 0 || len(meta.pages) == 0 {
@@ -243,13 +261,19 @@ func writeRLEPages(pool *storage.BufferPool, meta *columnMeta, vals []int64, nul
 }
 
 func decodeRLEPage(buf []byte) (vals []int64, nulls []bool, err error) {
+	return decodeRLEPageInto(buf, nil, nil)
+}
+
+// decodeRLEPageInto is decodeRLEPage reusing the caller's scratch slices.
+func decodeRLEPageInto(buf []byte, vals []int64, nulls []bool) ([]int64, []bool, error) {
 	logical := int(buf[0]) | int(buf[1])<<8
 	nruns := int(buf[2]) | int(buf[3])<<8
-	vals = make([]int64, 0, logical)
-	nulls = make([]bool, 0, logical)
+	vals = growInt64(vals, 0)
+	nulls = growBool(nulls, 0)
 	rest := buf[4:]
 	for i := 0; i < nruns; i++ {
 		var r run
+		var err error
 		r, rest, err = decodeRun(rest)
 		if err != nil {
 			return nil, nil, err
@@ -260,9 +284,26 @@ func decodeRLEPage(buf []byte) (vals []int64, nulls []bool, err error) {
 		}
 	}
 	if len(vals) != logical {
-		return nil, nil, fmt.Errorf("colstore: page holds %d values, header says %d", len(vals), logical)
+		return nil, nil, fmt.Errorf("colstore: page holds %d values, header says %d: %w",
+			len(vals), logical, storage.ErrCorrupt)
 	}
 	return vals, nulls, nil
+}
+
+// growInt64 returns s truncated/extended to length n, reallocating only
+// when capacity is short.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // Schema returns the file's schema.
@@ -350,17 +391,22 @@ func (m *columnMeta) fromValue(v dataset.Value) (int64, bool, error) {
 }
 
 func (f *File) pageValues(m *columnMeta, pageIdx int) ([]int64, []bool, error) {
+	return f.pageValuesInto(m, pageIdx, nil, nil)
+}
+
+// pageValuesInto is pageValues decoding into the caller's scratch
+// slices, so a multi-page scan allocates once instead of per page. The
+// returned slices alias the scratch and are valid until the next call.
+func (f *File) pageValuesInto(m *columnMeta, pageIdx int, vals []int64, nulls []bool) ([]int64, []bool, error) {
 	id := m.pages[pageIdx]
 	page, err := f.pool.Fetch(id)
 	if err != nil {
 		return nil, nil, err
 	}
-	var vals []int64
-	var nulls []bool
 	if m.enc == RLE {
-		vals, nulls, err = decodeRLEPage(page.Payload())
+		vals, nulls, err = decodeRLEPageInto(page.Payload(), vals, nulls)
 	} else {
-		vals, nulls = decodePlainPage(page.Payload())
+		vals, nulls = decodePlainPageInto(page.Payload(), vals, nulls)
 	}
 	if uerr := f.pool.Unpin(id, false); uerr != nil && err == nil {
 		err = uerr
@@ -377,8 +423,11 @@ func (f *File) ScanColumn(name string, fn func(row int, v dataset.Value) bool) e
 		return err
 	}
 	row := 0
+	var vals []int64
+	var nulls []bool
 	for p := range m.pages {
-		vals, nulls, err := f.pageValues(m, p)
+		var err error
+		vals, nulls, err = f.pageValuesInto(m, p, vals, nulls)
 		if err != nil {
 			return err
 		}
@@ -404,8 +453,11 @@ func (f *File) NumericColumn(name string) ([]float64, []bool, error) {
 	}
 	out := make([]float64, f.rows)
 	valid := make([]bool, f.rows)
+	var vals []int64
+	var nulls []bool
 	for p := range m.pages {
-		vals, nulls, err := f.pageValues(m, p)
+		var err error
+		vals, nulls, err = f.pageValuesInto(m, p, vals, nulls)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -497,11 +549,14 @@ func (f *File) UpdateValue(name string, rowIdx int, v dataset.Value) error {
 func (f *File) Materialize() (*dataset.Dataset, error) {
 	out := dataset.New(f.schema)
 	cols := make([][]dataset.Value, len(f.cols))
+	var vals []int64
+	var nulls []bool
 	for c, m := range f.cols {
 		cols[c] = make([]dataset.Value, f.rows)
 		filled := 0
 		for p := range m.pages {
-			vals, nulls, err := f.pageValues(m, p)
+			var err error
+			vals, nulls, err = f.pageValuesInto(m, p, vals, nulls)
 			if err != nil {
 				return nil, err
 			}

@@ -11,8 +11,9 @@ import (
 // and null flags of a single page, with the first logical row they cover.
 // This is the vectorized access path the execution engine consumes —
 // ScanColumn's per-value closure and Value boxing removed, one callback
-// per page instead of per row. Slices are freshly decoded per page and
-// owned by the callback.
+// per page instead of per row. The slices are scan-owned scratch reused
+// across pages: they are valid only for the duration of the callback,
+// which must copy anything it keeps.
 type Chunk struct {
 	Start int // first logical row of the chunk
 	Vals  []int64
@@ -28,8 +29,10 @@ func (f *File) ScanChunks(name string, fn func(Chunk) error) error {
 	if err != nil {
 		return err
 	}
+	var vals []int64
+	var nulls []bool
 	for p := range m.pages {
-		vals, nulls, err := f.pageValues(m, p)
+		vals, nulls, err = f.pageValuesInto(m, p, vals, nulls)
 		if err != nil {
 			return err
 		}
@@ -45,7 +48,9 @@ func (f *File) ScanChunks(name string, fn func(Chunk) error) error {
 
 // ScanNumericChunks streams page-aligned float64 batches of a numeric
 // column with validity masks — the bulk form of NumericColumn for
-// chunked kernels that fold without materializing the whole column.
+// chunked kernels that fold without materializing the whole column. Like
+// ScanChunks, xs and valid are scratch reused across pages and valid
+// only during the callback.
 func (f *File) ScanNumericChunks(name string, fn func(start int, xs []float64, valid []bool) error) error {
 	m, err := f.meta(name)
 	if err != nil {
@@ -54,9 +59,18 @@ func (f *File) ScanNumericChunks(name string, fn func(start int, xs []float64, v
 	if m.kind == dataset.KindString {
 		return fmt.Errorf("colstore: column %q is string, not numeric", name)
 	}
+	var xs []float64
+	var valid []bool
 	return f.ScanChunks(name, func(c Chunk) error {
-		xs := make([]float64, len(c.Vals))
-		valid := make([]bool, len(c.Vals))
+		if cap(xs) < len(c.Vals) {
+			xs = make([]float64, len(c.Vals))
+			valid = make([]bool, len(c.Vals))
+		}
+		xs = xs[:len(c.Vals)]
+		valid = valid[:len(c.Vals)]
+		for i := range valid {
+			xs[i], valid[i] = 0, false
+		}
 		for i, v := range c.Vals {
 			if c.Nulls[i] {
 				continue

@@ -41,6 +41,10 @@ type DBMS struct {
 	// apply when they open a statement budget (0 = unlimited).
 	maxTicks int64
 	maxPages int64
+	// runThreshold is the runs/rows planner ceiling views built through
+	// this DBMS inherit for run-aware compressed execution (0 = the view
+	// default, negative = disabled).
+	runThreshold float64
 }
 
 // New creates a DBMS over an empty tape archive with default cost models.
@@ -128,6 +132,23 @@ func (d *DBMS) Parallelism() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.parallelism
+}
+
+// SetRunThreshold sets the runs/rows ratio ceiling below which views
+// built from here on fold RLE columns run-by-run instead of decoding
+// rows. 0 restores the view-layer default; a negative value disables the
+// run strategy system-wide.
+func (d *DBMS) SetRunThreshold(t float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.runThreshold = t
+}
+
+// RunThreshold returns the configured planner ceiling (0 = view default).
+func (d *DBMS) RunThreshold() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.runThreshold
 }
 
 // Archive exposes the raw database.
@@ -305,6 +326,9 @@ func (m *MaterializeBuilder) BuildWithOptions(name string, opts view.Options) (*
 	if opts.Parallelism == 0 {
 		opts.Parallelism = m.analyst.dbms.Parallelism()
 	}
+	if opts.RunThreshold == 0 {
+		opts.RunThreshold = m.analyst.dbms.RunThreshold()
+	}
 	if opts.Metrics == nil {
 		opts.Metrics = m.analyst.dbms.metrics
 	}
@@ -326,9 +350,10 @@ func (a *Analyst) AdoptDataset(name string, ds *dataset.Dataset, source string, 
 	v, err := view.New(ds, a.dbms.mdb, rules.ViewDef{
 		Name: name, Analyst: a.name, Source: source, Ops: ops,
 	}, view.Options{
-		Parallelism: a.dbms.Parallelism(),
-		Metrics:     a.dbms.metrics,
-		Tracer:      a.dbms.tracer,
+		Parallelism:  a.dbms.Parallelism(),
+		Metrics:      a.dbms.metrics,
+		Tracer:       a.dbms.tracer,
+		RunThreshold: a.dbms.RunThreshold(),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,53 @@
+package exec
+
+// Selection is a selection vector: the surviving rows of a predicate as
+// sorted, disjoint, coalesced row ranges. Filter-then-aggregate chains
+// pass a Selection instead of materializing the intermediate data set,
+// so a selective predicate costs O(matching ranges) downstream rather
+// than O(matching rows) of copying — and a clustered predicate (long
+// contiguous match spans, the sorted-census norm) collapses to a handful
+// of ranges.
+type Selection struct {
+	ranges []Range
+	rows   int
+}
+
+// FromMask builds a Selection from a per-row boolean mask, coalescing
+// adjacent selected rows into single ranges.
+func FromMask(mask []bool) Selection {
+	var s Selection
+	start := -1
+	for i, ok := range mask {
+		if ok {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			s.ranges = append(s.ranges, Range{Lo: start, Hi: i})
+			s.rows += i - start
+			start = -1
+		}
+	}
+	if start >= 0 {
+		s.ranges = append(s.ranges, Range{Lo: start, Hi: len(mask)})
+		s.rows += len(mask) - start
+	}
+	return s
+}
+
+// SelectAll selects every row of [0, n).
+func SelectAll(n int) Selection {
+	if n <= 0 {
+		return Selection{}
+	}
+	return Selection{ranges: []Range{{Lo: 0, Hi: n}}, rows: n}
+}
+
+// Ranges returns the selection's row ranges in ascending order. Callers
+// must not mutate the slice.
+func (s Selection) Ranges() []Range { return s.ranges }
+
+// Rows returns the number of selected rows.
+func (s Selection) Rows() int { return s.rows }

@@ -11,6 +11,11 @@ const (
 	MExecRunsSerial     = "exec.runs.serial"     // Run calls executed inline
 	MExecWorkersSpawned = "exec.workers.spawned" // worker goroutines dispatched
 	MExecInflight       = "exec.inflight"        // gauge: workers currently running
+	// Run-aware compressed execution: the run-vs-row strategy decision
+	// and the work each path did, measured at the fold.
+	MExecRunsFolded      = "exec.runs_folded"       // RLE runs folded without expansion
+	MExecRowsDecoded     = "exec.rows_decoded"      // rows decoded through the row path
+	MExecRunStrategyHits = "exec.run_strategy_hits" // folds routed to the run kernels
 
 	// Median/quantile windows (internal/medwin).
 	MMedwinSlides   = "medwin.slides"   // updates absorbed by sliding the window
@@ -64,6 +69,7 @@ func PassTicksBounds() []int64 { return []int64{1_000, 10_000, 100_000, 1_000_00
 // does not depend on which subsystems happened to run.
 var baselineCounters = []string{
 	MExecChunks, MExecRunsParallel, MExecRunsSerial, MExecWorkersSpawned,
+	MExecRunsFolded, MExecRowsDecoded, MExecRunStrategyHits,
 	MMedwinSlides, MMedwinRebuilds,
 	MQueryStatements, MQueryErrors,
 	MStoragePoolHits, MStoragePoolMisses, MStoragePoolEvictions,

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"statdb/internal/core"
+	"statdb/internal/dataset"
 	"statdb/internal/obs"
 	"statdb/internal/storage"
 	"statdb/internal/view"
@@ -95,6 +96,44 @@ func TestExplainGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "explain.golden", out.String())
+}
+
+// TestExplainRunsGolden pins the run-strategy rendering: a
+// low-cardinality column on a transposed store is RLE-encoded, so the
+// planner folds its runs without decoding rows and the scan span says
+// so (rows, runs, ratio, strategy=runs; the fold runs engine=runs).
+func TestExplainRunsGolden(t *testing.T) {
+	d := core.New()
+	d.SetParallelism(4)
+	sch := dataset.MustSchema(
+		dataset.Attribute{Name: "GRADE", Kind: dataset.KindInt, Summarizable: true},
+	)
+	ds := dataset.New(sch)
+	for i := 0; i < 10240; i++ {
+		if err := ds.Append(dataset.Row{dataset.Int(int64(i / 400 * 25))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.LoadRaw("grades", ds); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	e := NewExecutor(d, "analyst", &out)
+	if err := e.Run("materialize gv from grades project GRADE"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Analyst.View("gv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AttachStore(view.BackingTransposed, storage.DefaultDiskCost(), 8); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := e.Run("explain compute mean GRADE on gv"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "explain_runs.golden", out.String())
 }
 
 // TestExplainChargesSumToTotal is the acceptance invariant: the root

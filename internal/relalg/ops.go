@@ -283,12 +283,70 @@ type groupPartition struct {
 	groupKeys map[string]dataset.Row
 }
 
-// foldGroups aggregates rows [lo, hi) of ds into a fresh partition.
-func foldGroups(ds *dataset.Dataset, keyIdx []int, cols []aggCol, lo, hi int) groupPartition {
-	part := groupPartition{
+// newGroupPartition returns an empty partition.
+func newGroupPartition() groupPartition {
+	return groupPartition{
 		groups:    make(map[string][]*aggState),
 		groupKeys: make(map[string]dataset.Row),
 	}
+}
+
+// newAggStates allocates one zero state per aggregate column.
+func newAggStates(cols []aggCol) []*aggState {
+	states := make([]*aggState, len(cols))
+	for i := range states {
+		states[i] = &aggState{}
+	}
+	return states
+}
+
+// updateAggStates folds row r of ds into states, one entry per aggregate
+// column — the single row step every group-by strategy shares.
+func updateAggStates(ds *dataset.Dataset, r int, cols []aggCol, states []*aggState) {
+	for i, c := range cols {
+		st := states[i]
+		if c.agg.Func == AggCount {
+			st.n++
+			continue
+		}
+		v := ds.Cell(r, c.attrIdx)
+		if v.IsNull() {
+			continue
+		}
+		st.n++
+		switch c.agg.Func {
+		case AggSum, AggMean:
+			st.sum += v.AsFloat()
+		case AggWMean:
+			w := ds.Cell(r, c.weightIdx)
+			if w.IsNull() {
+				st.n--
+				continue
+			}
+			st.wsum += v.AsFloat() * w.AsFloat()
+			st.wtot += w.AsFloat()
+		case AggMin:
+			if st.min.IsNull() || v.Compare(st.min) < 0 {
+				st.min = v
+			}
+		case AggMax:
+			if st.max.IsNull() || v.Compare(st.max) > 0 {
+				st.max = v
+			}
+		}
+	}
+}
+
+// foldGroups aggregates rows [lo, hi) of ds into a fresh partition.
+func foldGroups(ds *dataset.Dataset, keyIdx []int, cols []aggCol, lo, hi int) groupPartition {
+	part := newGroupPartition()
+	foldGroupsInto(part, ds, keyIdx, cols, lo, hi)
+	return part
+}
+
+// foldGroupsInto aggregates rows [lo, hi) of ds into part, so several
+// disjoint row ranges can fold sequentially into one partition.
+func foldGroupsInto(part groupPartition, ds *dataset.Dataset, keyIdx []int, cols []aggCol, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		var kb strings.Builder
 		keyVals := make(dataset.Row, len(keyIdx))
@@ -301,47 +359,12 @@ func foldGroups(ds *dataset.Dataset, keyIdx []int, cols []aggCol, lo, hi int) gr
 		gk := kb.String()
 		states, ok := part.groups[gk]
 		if !ok {
-			states = make([]*aggState, len(cols))
-			for i := range states {
-				states[i] = &aggState{}
-			}
+			states = newAggStates(cols)
 			part.groups[gk] = states
 			part.groupKeys[gk] = keyVals
 		}
-		for i, c := range cols {
-			st := states[i]
-			if c.agg.Func == AggCount {
-				st.n++
-				continue
-			}
-			v := ds.Cell(r, c.attrIdx)
-			if v.IsNull() {
-				continue
-			}
-			st.n++
-			switch c.agg.Func {
-			case AggSum, AggMean:
-				st.sum += v.AsFloat()
-			case AggWMean:
-				w := ds.Cell(r, c.weightIdx)
-				if w.IsNull() {
-					st.n--
-					continue
-				}
-				st.wsum += v.AsFloat() * w.AsFloat()
-				st.wtot += w.AsFloat()
-			case AggMin:
-				if st.min.IsNull() || v.Compare(st.min) < 0 {
-					st.min = v
-				}
-			case AggMax:
-				if st.max.IsNull() || v.Compare(st.max) > 0 {
-					st.max = v
-				}
-			}
-		}
+		updateAggStates(ds, r, cols, states)
 	}
-	return part
 }
 
 // emitGroups renders a partition as the ordered output data set.

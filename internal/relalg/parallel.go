@@ -59,6 +59,14 @@ func GroupByWith(p *exec.Pool, ds *dataset.Dataset, keys []string, aggs []Agg, c
 	if err != nil {
 		return nil, err
 	}
+	// A single dictionary-coded key groups by array index on the code
+	// value — no key rendering, no hashing — which beats the hashed
+	// partition-and-merge even against the pool, so it is routed first.
+	if len(keys) == 1 {
+		if a := ds.Schema().At(keyIdx[0]); a.Kind == dataset.KindInt && a.Code != nil {
+			return GroupByDict(ds, keys[0], aggs)
+		}
+	}
 	n := ds.Rows()
 	ranges := exec.Chunks(n, chunk)
 	if p == nil || p.Workers() <= 1 || len(ranges) <= 1 {

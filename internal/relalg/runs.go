@@ -1,0 +1,155 @@
+package relalg
+
+import (
+	"fmt"
+	"strings"
+
+	"statdb/internal/dataset"
+	"statdb/internal/exec"
+)
+
+// This file holds the run-aware forms of the filter/aggregate chain:
+// selection vectors carry a predicate's surviving rows as coalesced
+// ranges instead of a copied data set, and dictionary-encoded group-by
+// replaces key-string hashing with array indexing on the code values.
+// Both produce outputs identical to their row-materializing
+// counterparts (GroupBy over Select) — they change cost, not answers.
+
+// SelectVector evaluates pred and returns the surviving rows as a
+// selection vector: no row is copied. On clustered data (category-sorted
+// census files) the matching rows collapse to a handful of ranges, so a
+// downstream GroupBySelection does O(ranges) bookkeeping on top of the
+// per-row fold.
+func SelectVector(ds *dataset.Dataset, pred Predicate) (exec.Selection, error) {
+	eval, err := pred.Compile(ds.Schema())
+	if err != nil {
+		return exec.Selection{}, err
+	}
+	mask := make([]bool, ds.Rows())
+	for i := range mask {
+		mask[i] = eval(ds.RowAt(i))
+	}
+	return exec.FromMask(mask), nil
+}
+
+// SelectVectorWith is SelectVector with the predicate evaluated through
+// the pool: each chunk marks its slice of the shared mask (disjoint
+// writes), then the mask coalesces serially. The resulting selection is
+// identical to the serial operator's for any worker count. A nil or
+// single-worker pool falls back to SelectVector.
+func SelectVectorWith(p *exec.Pool, ds *dataset.Dataset, pred Predicate, chunk int) (exec.Selection, error) {
+	if p == nil || p.Workers() <= 1 {
+		return SelectVector(ds, pred)
+	}
+	eval, err := pred.Compile(ds.Schema())
+	if err != nil {
+		return exec.Selection{}, err
+	}
+	mask := make([]bool, ds.Rows())
+	if err := p.Run(ds.Rows(), chunk, func(_ int, r exec.Range) error {
+		for i := r.Lo; i < r.Hi; i++ {
+			mask[i] = eval(ds.RowAt(i))
+		}
+		return nil
+	}); err != nil {
+		return exec.Selection{}, err
+	}
+	return exec.FromMask(mask), nil
+}
+
+// GroupBySelection is GroupBy restricted to the selected rows. The
+// ranges fold sequentially into one partition in ascending row order —
+// exactly the row order GroupBy(Select(ds, pred)) would see — so the
+// output is identical, row for row and bit for bit, without ever
+// materializing the intermediate data set.
+func GroupBySelection(ds *dataset.Dataset, sel exec.Selection, keys []string, aggs []Agg) (*dataset.Dataset, error) {
+	keyIdx, cols, sch, err := groupPlan(ds, keys, aggs)
+	if err != nil {
+		return nil, err
+	}
+	part := newGroupPartition()
+	for _, r := range sel.Ranges() {
+		foldGroupsInto(part, ds, keyIdx, cols, r.Lo, r.Hi)
+	}
+	return emitGroups(sch, cols, part)
+}
+
+// GroupByDict is GroupBy for a single dictionary-coded key attribute
+// (KindInt with a code table): the group id is the dictionary code
+// itself, so the per-row step is an array index into a slot table
+// spanning the code range — no key rendering, no hashing. Codes outside
+// the table's range (data drift) and null keys fall back to hashed
+// groups. The emit goes through the shared ordered path, so the output
+// is identical to GroupBy's.
+func GroupByDict(ds *dataset.Dataset, key string, aggs []Agg) (*dataset.Dataset, error) {
+	keyIdx, cols, sch, err := groupPlan(ds, []string{key}, aggs)
+	if err != nil {
+		return nil, err
+	}
+	ki := keyIdx[0]
+	a := ds.Schema().At(ki)
+	if a.Kind != dataset.KindInt || a.Code == nil {
+		return nil, fmt.Errorf("relalg: group by dict: attribute %q is not dictionary-coded", key)
+	}
+	codes := a.Code.Codes()
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("relalg: group by dict: attribute %q has an empty code table", key)
+	}
+	lo, hi := codes[0], codes[len(codes)-1]
+	slots := make([][]*aggState, hi-lo+1)
+	var nullStates []*aggState
+	overflow := newGroupPartition()
+	for r := 0; r < ds.Rows(); r++ {
+		v := ds.Cell(r, ki)
+		var states []*aggState
+		switch {
+		case v.IsNull():
+			if nullStates == nil {
+				nullStates = newAggStates(cols)
+			}
+			states = nullStates
+		case v.AsInt() >= lo && v.AsInt() <= hi:
+			s := v.AsInt() - lo
+			if slots[s] == nil {
+				slots[s] = newAggStates(cols)
+			}
+			states = slots[s]
+		default:
+			gk := renderGroupKey(v)
+			states = overflow.groups[gk]
+			if states == nil {
+				states = newAggStates(cols)
+				overflow.groups[gk] = states
+				overflow.groupKeys[gk] = dataset.Row{v}
+			}
+		}
+		updateAggStates(ds, r, cols, states)
+	}
+	// Fold the array slots into a partition and emit through the shared
+	// ordered path, so group order matches GroupBy exactly.
+	part := overflow
+	for s, states := range slots {
+		if states == nil {
+			continue
+		}
+		v := dataset.Int(lo + int64(s))
+		gk := renderGroupKey(v)
+		part.groups[gk] = states
+		part.groupKeys[gk] = dataset.Row{v}
+	}
+	if nullStates != nil {
+		gk := renderGroupKey(dataset.Null)
+		part.groups[gk] = nullStates
+		part.groupKeys[gk] = dataset.Row{dataset.Null}
+	}
+	return emitGroups(sch, cols, part)
+}
+
+// renderGroupKey renders one key value exactly as foldGroups does, so
+// dictionary-built partitions emit in the same order as hashed ones.
+func renderGroupKey(v dataset.Value) string {
+	var kb strings.Builder
+	kb.WriteString(v.String())
+	kb.WriteByte(0)
+	return kb.String()
+}

@@ -1,0 +1,178 @@
+package relalg
+
+import (
+	"testing"
+
+	"statdb/internal/dataset"
+	"statdb/internal/exec"
+)
+
+// codedFixture is groupedFixture with a dictionary-coded group key:
+// AGE_GROUP codes 1..4 from a table, a few rows carrying an out-of-table
+// code (data drift) and a few null keys.
+func codedFixture(t testing.TB, n int) *dataset.Dataset {
+	t.Helper()
+	code := dataset.NewCodeTable("AGE_GROUP").
+		MustDefine(1, "0 to 20").
+		MustDefine(2, "21 to 40").
+		MustDefine(3, "41 to 65").
+		MustDefine(4, "over 65")
+	sch := dataset.MustSchema(
+		dataset.Attribute{Name: "AGE_GROUP", Kind: dataset.KindInt, Category: true, Code: code},
+		dataset.Attribute{Name: "VALUE", Kind: dataset.KindFloat},
+		dataset.Attribute{Name: "WEIGHT", Kind: dataset.KindFloat},
+	)
+	ds := dataset.New(sch)
+	g := testLCG(777)
+	for i := 0; i < n; i++ {
+		row := dataset.Row{
+			dataset.Int(int64(1 + g.intn(4))),
+			dataset.Float((float64(g.intn(801)) - 400) / 4),
+			dataset.Float(1 + float64(g.intn(9))),
+		}
+		switch g.intn(50) {
+		case 0:
+			row[0] = dataset.Null
+		case 1:
+			row[0] = dataset.Int(9) // not in the code table
+		}
+		if g.intn(25) == 0 {
+			row[1] = dataset.Null
+		}
+		if err := ds.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+var runAggs = []Agg{
+	{Func: AggCount},
+	{Func: AggSum, Attr: "VALUE"},
+	{Func: AggMean, Attr: "VALUE"},
+	{Func: AggMin, Attr: "VALUE"},
+	{Func: AggMax, Attr: "VALUE"},
+	{Func: AggWMean, Attr: "VALUE", Weight: "WEIGHT"},
+}
+
+// TestSelectVectorMatchesSelect: the selection vector must pick exactly
+// the rows Select materializes, for every worker count.
+func TestSelectVectorMatchesSelect(t *testing.T) {
+	ds := groupedFixture(t, 9007)
+	pred := Cmp{Attr: "VALUE", Op: Gt, Val: dataset.Float(0)}
+	want, err := Select(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4} {
+		var pool *exec.Pool
+		if workers > 0 {
+			pool = exec.New(workers)
+		}
+		sel, err := SelectVectorWith(pool, ds, pred, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Rows() != want.Rows() {
+			t.Fatalf("workers=%d: selected %d rows, want %d", workers, sel.Rows(), want.Rows())
+		}
+		r := 0
+		for _, rg := range sel.Ranges() {
+			for i := rg.Lo; i < rg.Hi; i++ {
+				got := ds.RowAt(i)
+				for c := range got {
+					if !got[c].Equal(want.Cell(r, c)) {
+						t.Fatalf("workers=%d: selected row %d != Select row %d", workers, i, r)
+					}
+				}
+				r++
+			}
+		}
+	}
+	if _, err := SelectVector(ds, Cmp{Attr: "NOPE", Op: Eq, Val: dataset.Int(1)}); err == nil {
+		t.Error("bad predicate accepted")
+	}
+}
+
+// TestGroupBySelectionMatchesGroupBySelect: folding the selection's
+// ranges sequentially into one partition visits the survivors in the
+// same row order as GroupBy over the materialized Select, so the outputs
+// are identical bit for bit — including the float sums.
+func TestGroupBySelectionMatchesGroupBySelect(t *testing.T) {
+	ds := groupedFixture(t, 9007)
+	pred := Or{
+		Cmp{Attr: "VALUE", Op: Lt, Val: dataset.Float(-10)},
+		Cmp{Attr: "REGION", Op: Eq, Val: dataset.String("N")},
+	}
+	filtered, err := Select(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GroupBy(filtered, []string{"REGION", "GROUP"}, runAggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectVector(ds, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GroupBySelection(ds, sel, []string{"REGION", "GROUP"}, runAggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDataset(t, "groupby-selection", got, want, 0) // bit-identical, not just close
+
+	// Empty selection: header-only result.
+	none, err := GroupBySelection(ds, exec.Selection{}, []string{"REGION"}, runAggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Rows() != 0 {
+		t.Errorf("empty selection produced %d groups", none.Rows())
+	}
+	if _, err := GroupBySelection(ds, sel, []string{"NOPE"}, nil); err == nil {
+		t.Error("missing key accepted")
+	}
+}
+
+// TestGroupByDictMatchesGroupBy: array-indexed grouping on the code
+// values — including null keys and codes outside the table — must emit
+// exactly what the hashed operator emits.
+func TestGroupByDictMatchesGroupBy(t *testing.T) {
+	ds := codedFixture(t, 8009)
+	want, err := GroupBy(ds, []string{"AGE_GROUP"}, runAggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GroupByDict(ds, "AGE_GROUP", runAggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDataset(t, "groupby-dict", got, want, 0) // bit-identical
+
+	// GroupByWith routes a single dictionary-coded key here too.
+	routed, err := GroupByWith(exec.New(4), ds, []string{"AGE_GROUP"}, runAggs, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDataset(t, "groupby-with-dict", routed, want, 0)
+}
+
+// TestGroupByDictErrors: only single int keys with a code table qualify.
+func TestGroupByDictErrors(t *testing.T) {
+	ds := groupedFixture(t, 50)
+	if _, err := GroupByDict(ds, "GROUP", nil); err == nil {
+		t.Error("uncoded int key accepted")
+	}
+	if _, err := GroupByDict(ds, "REGION", nil); err == nil {
+		t.Error("string key accepted")
+	}
+	if _, err := GroupByDict(ds, "NOPE", nil); err == nil {
+		t.Error("missing key accepted")
+	}
+	empty := dataset.NewCodeTable("E")
+	sch := dataset.MustSchema(dataset.Attribute{Name: "K", Kind: dataset.KindInt, Code: empty})
+	if _, err := GroupByDict(dataset.New(sch), "K", []Agg{{Func: AggCount}}); err == nil {
+		t.Error("empty code table accepted")
+	}
+}

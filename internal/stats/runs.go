@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"statdb/internal/exec"
+)
+
+// This file is the run-compressed face of the package: the desc.go
+// operators evaluated over an exec.RunColumn in O(runs) instead of
+// O(rows), without ever expanding the column. The determinism contract
+// matches the chunked/parallel face: order-insensitive results (count,
+// min, max, frequencies, histograms, quantiles, mode, unique) are
+// bit-identical to the serial operators over the expanded column, while
+// mean and standard deviation regroup float additions (a run of c equal
+// values sums as x*c) and agree to ulps. On integer-valued data within
+// float64's exact range — census codes and whole-dollar measures — the
+// sums are exact too, so even those match bit for bit.
+
+// runFreq tabulates the run column's valid observations as a sorted
+// frequency table, the compressed sort every order statistic reads.
+func runFreq(rc exec.RunColumn) (values []float64, counts []int64, n int64, err error) {
+	f, err := exec.FoldFreqRuns(rc)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	values, counts = f.Sorted()
+	for _, c := range counts {
+		n += c
+	}
+	return values, counts, n, nil
+}
+
+// CountRuns is Count over a run column — bit-identical (integers).
+func CountRuns(rc exec.RunColumn) (int64, error) {
+	m, err := exec.FoldMomentsRuns(rc)
+	if err != nil {
+		return 0, err
+	}
+	return m.N, nil
+}
+
+// SumRuns is Sum over a run column: each run contributes value*count.
+func SumRuns(rc exec.RunColumn) (float64, error) {
+	m, err := exec.FoldMomentsRuns(rc)
+	if err != nil {
+		return 0, err
+	}
+	return m.Sum, nil
+}
+
+// MeanRuns is Mean over a run column — Sum/N, the serial formula.
+func MeanRuns(rc exec.RunColumn) (float64, error) {
+	m, err := exec.FoldMomentsRuns(rc)
+	if err != nil {
+		return 0, err
+	}
+	if m.N == 0 {
+		return 0, ErrNoData
+	}
+	return m.Sum / float64(m.N), nil
+}
+
+// VarianceRuns is Variance over a run column, from the merged M2 state.
+// Error semantics match the serial operator.
+func VarianceRuns(rc exec.RunColumn) (float64, error) {
+	m, err := exec.FoldMomentsRuns(rc)
+	if err != nil {
+		return 0, err
+	}
+	if m.N < 2 {
+		return 0, fmt.Errorf("stats: variance needs >= 2 observations, have %d", m.N)
+	}
+	v := m.M2 / float64(m.N-1)
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// StdDevRuns is StdDev over a run column.
+func StdDevRuns(rc exec.RunColumn) (float64, error) {
+	v, err := VarianceRuns(rc)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinRuns is Min over a run column — bit-identical.
+func MinRuns(rc exec.RunColumn) (float64, error) {
+	m, err := exec.FoldMomentsRuns(rc)
+	if err != nil {
+		return 0, err
+	}
+	if m.N == 0 {
+		return 0, ErrNoData
+	}
+	return m.Min, nil
+}
+
+// MaxRuns is Max over a run column — bit-identical.
+func MaxRuns(rc exec.RunColumn) (float64, error) {
+	m, err := exec.FoldMomentsRuns(rc)
+	if err != nil {
+		return 0, err
+	}
+	if m.N == 0 {
+		return 0, ErrNoData
+	}
+	return m.Max, nil
+}
+
+// SummarizeRuns computes the same Summary as Summarize from runs: the
+// moments from the per-run closed forms merged in run order, the order
+// statistics from the run frequency table. The mean is Sum/N — the
+// serial formula — so it matches Summarize exactly whenever the sum is.
+func SummarizeRuns(rc exec.RunColumn) (Summary, error) {
+	m, err := exec.FoldMomentsRuns(rc)
+	if err != nil {
+		return Summary{}, err
+	}
+	if m.N == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: int(m.N), Missing: int(m.Missing), Min: m.Min, Max: m.Max}
+	s.Mean = m.Sum / float64(m.N)
+	if sd, err := m.SD(); err == nil {
+		s.SD = sd
+	} else {
+		s.SD = math.NaN()
+	}
+	values, counts, _, err := runFreq(rc)
+	if err != nil {
+		return Summary{}, err
+	}
+	s.Median = quantileFreq(values, counts, m.N, 0.5)
+	s.Q1 = quantileFreq(values, counts, m.N, 0.25)
+	s.Q3 = quantileFreq(values, counts, m.N, 0.75)
+	s.Mode = modeFreq(values, counts)
+	s.Unique = len(values)
+	return s, nil
+}
+
+// FrequenciesRuns is Frequencies over a run column — bit-identical to
+// the serial pass (counts are order-insensitive integers).
+func FrequenciesRuns(rc exec.RunColumn) (values []float64, counts []int, err error) {
+	vs, cs, _, err := runFreq(rc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(vs) == 0 {
+		return nil, nil, nil
+	}
+	counts = make([]int, len(cs))
+	for i, c := range cs {
+		counts[i] = int(c)
+	}
+	return vs, counts, nil
+}
+
+// QuantileRuns is Quantile over a run column, bit-identical to the
+// serial operator (same interpolation arithmetic over the same order
+// statistics).
+func QuantileRuns(rc exec.RunColumn, q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile p=%g out of [0,1]", q)
+	}
+	values, counts, n, err := runFreq(rc)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, ErrNoData
+	}
+	return quantileFreq(values, counts, n, q), nil
+}
+
+// ModeRuns is Mode over a run column, including its ties-toward-smaller
+// rule.
+func ModeRuns(rc exec.RunColumn) (float64, int, error) {
+	values, counts, _, err := runFreq(rc)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(values) == 0 {
+		return 0, 0, ErrNoData
+	}
+	best, bestN := values[0], counts[0]
+	for i := 1; i < len(values); i++ {
+		if counts[i] > bestN {
+			best, bestN = values[i], counts[i]
+		}
+	}
+	return best, int(bestN), nil
+}
+
+// UniqueCountRuns is UniqueCount over a run column.
+func UniqueCountRuns(rc exec.RunColumn) (int, error) {
+	values, _, _, err := runFreq(rc)
+	if err != nil {
+		return 0, err
+	}
+	return len(values), nil
+}
+
+// NewHistogramRuns is NewHistogram over a run column: the edges come
+// from the run-folded extrema via the serial constructor's arithmetic,
+// and bin counts add whole runs — bit-identical to the serial histogram.
+func NewHistogramRuns(rc exec.RunColumn, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", bins)
+	}
+	m, err := exec.FoldMomentsRuns(rc)
+	if err != nil {
+		return nil, err
+	}
+	if m.N == 0 {
+		return nil, ErrNoData
+	}
+	lo, hi := m.Min, m.Max
+	if lo == hi {
+		hi = lo + 1 // degenerate range: one unit-wide bin
+	}
+	h := &Histogram{Edges: make([]float64, bins+1), Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for i := 0; i <= bins; i++ {
+		h.Edges[i] = lo + width*float64(i)
+	}
+	h.Edges[bins] = hi
+	cs, err := exec.FoldHistRuns(rc, h.Edges)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cs {
+		h.Counts[i] = int(c)
+	}
+	return h, nil
+}

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"statdb/internal/exec"
+)
+
+// runsLCG is the package's deterministic generator for run-path property
+// tests (math/rand is banned here).
+type runsLCG uint64
+
+func (g *runsLCG) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+func (g *runsLCG) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// runColumn builds a census-shaped run column: integer-valued payloads
+// (so sums are exact and even the regrouped moments must match bit for
+// bit), occasional null runs, run lengths 1..60.
+func runColumn(g *runsLCG, runs int) exec.RunColumn {
+	var rc exec.RunColumn
+	for i := 0; i < runs; i++ {
+		c := int64(1 + g.intn(60))
+		rc.Vals = append(rc.Vals, float64(g.intn(9)*25))
+		rc.Nulls = append(rc.Nulls, g.intn(6) == 0)
+		rc.Counts = append(rc.Counts, c)
+		rc.Rows += int(c)
+	}
+	return rc
+}
+
+// TestRunOperatorsMatchSerial: every run-path operator must agree with
+// its serial twin over the expanded column — bit for bit on this
+// integer-valued data, where even the regrouped sums are exact.
+func TestRunOperatorsMatchSerial(t *testing.T) {
+	g := runsLCG(99)
+	for trial := 0; trial < 100; trial++ {
+		rc := runColumn(&g, 1+g.intn(40))
+		xs, valid, err := rc.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := Count(xs, valid)
+
+		eq := func(name string, got float64, gerr error, want float64, werr error) {
+			t.Helper()
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("trial %d %s: err %v vs %v", trial, name, gerr, werr)
+			}
+			if gerr == nil && math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("trial %d %s: %g != %g", trial, name, got, want)
+			}
+		}
+
+		cn, err := CountRuns(rc)
+		if err != nil || int(cn) != n {
+			t.Fatalf("trial %d count: (%d, %v), want %d", trial, cn, err, n)
+		}
+		sr, err := SumRuns(rc)
+		eq("sum", sr, err, Sum(xs, valid), nil)
+		mr, err := MeanRuns(rc)
+		wm, werr := Mean(xs, valid)
+		eq("mean", mr, err, wm, werr)
+		vr, err := VarianceRuns(rc)
+		wv, werr := Variance(xs, valid)
+		if (err == nil) != (werr == nil) {
+			t.Fatalf("trial %d variance: err %v vs %v", trial, err, werr)
+		}
+		if err == nil && math.Abs(vr-wv) > 1e-9*(1+math.Abs(wv)) {
+			t.Fatalf("trial %d variance: %g != %g", trial, vr, wv)
+		}
+		minr, err := MinRuns(rc)
+		wmin, werr := Min(xs, valid)
+		eq("min", minr, err, wmin, werr)
+		maxr, err := MaxRuns(rc)
+		wmax, werr := Max(xs, valid)
+		eq("max", maxr, err, wmax, werr)
+		for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			qr, err := QuantileRuns(rc, p)
+			wq, werr := Quantile(xs, valid, p)
+			eq("quantile", qr, err, wq, werr)
+		}
+		mor, morN, err := ModeRuns(rc)
+		wmo, wmoN, werr := Mode(xs, valid)
+		eq("mode", mor, err, wmo, werr)
+		if err == nil && morN != wmoN {
+			t.Fatalf("trial %d mode count: %d != %d", trial, morN, wmoN)
+		}
+		ur, err := UniqueCountRuns(rc)
+		if err == nil && ur != UniqueCount(xs, valid) {
+			t.Fatalf("trial %d unique: %d != %d", trial, ur, UniqueCount(xs, valid))
+		}
+
+		fv, fc, err := FrequenciesRuns(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wfv, wfc := Frequencies(xs, valid)
+		if len(fv) != len(wfv) {
+			t.Fatalf("trial %d frequencies: %d values, want %d", trial, len(fv), len(wfv))
+		}
+		for i := range wfv {
+			if math.Float64bits(fv[i]) != math.Float64bits(wfv[i]) || fc[i] != wfc[i] {
+				t.Fatalf("trial %d frequencies[%d]: (%g,%d) != (%g,%d)", trial, i, fv[i], fc[i], wfv[i], wfc[i])
+			}
+		}
+
+		if n > 0 {
+			gs, err := SummarizeRuns(rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, err := Summarize(xs, valid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gs.N != ws.N || gs.Missing != ws.Missing || gs.Unique != ws.Unique {
+				t.Fatalf("trial %d summary counts: %+v vs %+v", trial, gs, ws)
+			}
+			for _, pair := range [][2]float64{
+				{gs.Mean, ws.Mean}, {gs.Min, ws.Min}, {gs.Max, ws.Max},
+				{gs.Median, ws.Median}, {gs.Q1, ws.Q1}, {gs.Q3, ws.Q3}, {gs.Mode, ws.Mode},
+			} {
+				if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+					t.Fatalf("trial %d summary: %g != %g (%+v vs %+v)", trial, pair[0], pair[1], gs, ws)
+				}
+			}
+			sdOK := math.IsNaN(gs.SD) && math.IsNaN(ws.SD) ||
+				math.Abs(gs.SD-ws.SD) <= 1e-9*(1+math.Abs(ws.SD))
+			if !sdOK {
+				t.Fatalf("trial %d summary sd: %g != %g", trial, gs.SD, ws.SD)
+			}
+
+			gh, err := NewHistogramRuns(rc, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wh, err := NewHistogram(xs, valid, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wh.Edges {
+				if math.Float64bits(gh.Edges[i]) != math.Float64bits(wh.Edges[i]) {
+					t.Fatalf("trial %d hist edge %d: %g != %g", trial, i, gh.Edges[i], wh.Edges[i])
+				}
+			}
+			for i := range wh.Counts {
+				if gh.Counts[i] != wh.Counts[i] {
+					t.Fatalf("trial %d hist bin %d: %d != %d", trial, i, gh.Counts[i], wh.Counts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunOperatorErrors: the run path keeps the serial error semantics —
+// same sentinel on empty data, same variance-N text, same quantile range
+// check.
+func TestRunOperatorErrors(t *testing.T) {
+	var empty exec.RunColumn
+	if _, err := MeanRuns(empty); err != ErrNoData {
+		t.Errorf("MeanRuns(empty) = %v, want ErrNoData", err)
+	}
+	if _, err := MinRuns(empty); err != ErrNoData {
+		t.Errorf("MinRuns(empty) = %v, want ErrNoData", err)
+	}
+	if _, err := MaxRuns(empty); err != ErrNoData {
+		t.Errorf("MaxRuns(empty) = %v, want ErrNoData", err)
+	}
+	if _, err := QuantileRuns(empty, 0.5); err != ErrNoData {
+		t.Errorf("QuantileRuns(empty) = %v, want ErrNoData", err)
+	}
+	if _, _, err := ModeRuns(empty); err != ErrNoData {
+		t.Errorf("ModeRuns(empty) = %v, want ErrNoData", err)
+	}
+	if _, err := SummarizeRuns(empty); err != ErrNoData {
+		t.Errorf("SummarizeRuns(empty) = %v, want ErrNoData", err)
+	}
+	if _, err := NewHistogramRuns(empty, 3); err != ErrNoData {
+		t.Errorf("NewHistogramRuns(empty) = %v, want ErrNoData", err)
+	}
+
+	one := exec.RunColumn{Vals: []float64{5}, Nulls: []bool{false}, Counts: []int64{1}, Rows: 1}
+	_, gerr := VarianceRuns(one)
+	_, werr := Variance([]float64{5}, []bool{true})
+	if gerr == nil || werr == nil || gerr.Error() != werr.Error() {
+		t.Errorf("variance error text: %q vs serial %q", gerr, werr)
+	}
+	if _, err := QuantileRuns(one, 1.5); err == nil {
+		t.Error("out-of-range quantile accepted")
+	}
+	if _, err := NewHistogramRuns(one, 0); err == nil {
+		t.Error("zero-bin histogram accepted")
+	}
+
+	bad := exec.RunColumn{Vals: []float64{1}, Nulls: []bool{false}, Counts: []int64{2}, Rows: 1}
+	if _, err := SumRuns(bad); err == nil {
+		t.Error("corrupt run column accepted")
+	}
+}

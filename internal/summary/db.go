@@ -69,6 +69,10 @@ type entry struct {
 	win   *medwin.Window  // StrategyWindow
 	// source re-reads the column for rebuilds (built-in functions).
 	source Source
+	// runs, when set, re-reads the column as a run column; refreshes
+	// prefer it over source (runs.go). Run-served entries carry no
+	// maintainer or window — updates invalidate, the next access refills.
+	runs RunSource
 	// recompute regenerates custom results (Register entries).
 	recompute func() (Result, error)
 }
@@ -128,6 +132,8 @@ type dbMetrics struct {
 	recomputeSerial, recomputeParallel *obs.Counter
 	passTicks                          *obs.Histogram
 	medSlides, medRebuilds             *obs.Counter
+	// Run-aware strategy accounting (exec.* family; see runs.go).
+	runsFolded, rowsDecoded, runStrategyHits *obs.Counter
 }
 
 // SetMetrics mirrors the cache's instrumentation into reg under the
@@ -150,6 +156,9 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 		passTicks:         reg.Histogram(obs.MSummaryPassTicks, obs.PassTicksBounds()),
 		medSlides:         reg.Counter(obs.MMedwinSlides),
 		medRebuilds:       reg.Counter(obs.MMedwinRebuilds),
+		runsFolded:        reg.Counter(obs.MExecRunsFolded),
+		rowsDecoded:       reg.Counter(obs.MExecRowsDecoded),
+		runStrategyHits:   reg.Counter(obs.MExecRunStrategyHits),
 	}
 }
 
@@ -239,6 +248,17 @@ func IsBuiltin(fn string) bool {
 // found, the corresponding result will be returned; otherwise, after the
 // function has been applied ... the new information will be inserted".
 func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
+	return db.ScalarRuns(fn, attr, source, nil)
+}
+
+// ScalarRuns is Scalar with an optional run-compressed source. When runs
+// is non-nil the caller has decided the column is run-eligible (RLE,
+// runs/rows under the planner threshold), and misses and refills fold
+// the run form in O(runs) through the run kernels; a run read that
+// fails falls back to the row source. Run-served entries install no
+// incremental maintainer or window: updates invalidate them, and the
+// next access refills through the run path again.
+func (db *DB) ScalarRuns(fn, attr string, source Source, runs RunSource) (float64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	sp := db.tracer.Begin("summary.scalar", obs.A("fn", fn), obs.A("attr", attr))
@@ -258,6 +278,9 @@ func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
 		if e.source == nil && e.recompute == nil {
 			e.source = source
 		}
+		if e.runs == nil {
+			e.runs = runs
+		}
 		sp.SetAttr("outcome", "stale-refill")
 		v, err := db.refreshScalar(e)
 		if err != nil {
@@ -270,7 +293,25 @@ func (db *DB) Scalar(fn, attr string, source Source) (float64, error) {
 	db.counters.Misses++
 	db.met.misses.Inc()
 	sp.SetAttr("outcome", "miss")
-	e := &entry{fn: fn, attrs: []string{attr}, source: source}
+	e := &entry{fn: fn, attrs: []string{attr}, source: source, runs: runs}
+	if runs != nil {
+		if rc, ok := db.readRunSource(runs); ok {
+			if err := db.tracer.BudgetErr(); err != nil {
+				return 0, err
+			}
+			v, err := db.computeScalarRuns(fn, rc)
+			if err != nil {
+				return 0, err
+			}
+			if err := db.tracer.BudgetErr(); err != nil {
+				return 0, err
+			}
+			e.result = ScalarOf(v)
+			e.fresh = true
+			db.insert(e)
+			return v, nil
+		}
+	}
 	xs, valid := db.readSource(source)
 	// Sources cannot return errors, so a budget breached during the scan
 	// surfaces here — before the fold spends more, and before a partial
@@ -301,9 +342,11 @@ func (db *DB) readSource(source Source) ([]float64, []bool) {
 	sp := db.tracer.Begin("scan")
 	xs, valid := source()
 	sp.SetAttr("rows", fmt.Sprintf("%d", len(xs)))
+	sp.SetAttr("strategy", "rows")
 	sp.End()
 	db.counters.Passes++
 	db.met.passes.Inc()
+	db.met.rowsDecoded.Add(int64(len(xs)))
 	return xs, valid
 }
 
@@ -353,6 +396,22 @@ func (db *DB) refreshScalar(e *entry) (float64, error) {
 		db.counters.Recomputes++
 		db.met.recomputes.Inc()
 		return r.Scalar, nil
+	}
+	if e.runs != nil {
+		if rc, ok := db.readRunSource(e.runs); ok {
+			if err := db.tracer.BudgetErr(); err != nil {
+				return 0, err
+			}
+			v, err := db.computeScalarRuns(e.fn, rc)
+			if err != nil {
+				return 0, err
+			}
+			e.result = ScalarOf(v)
+			e.fresh = true
+			db.counters.Recomputes++
+			db.met.recomputes.Inc()
+			return v, nil
+		}
 	}
 	if e.source == nil {
 		// A loaded entry whose source has not been re-adopted yet (custom

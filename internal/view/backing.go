@@ -97,7 +97,11 @@ func (v *View) attachLocked(b Backing, dev storage.Device, poolFrames int) error
 		}
 		st.heap, st.rids = heap, rids
 	case BackingTransposed:
-		cf, err := colstore.Load(pool, v.data, colstore.Options{})
+		// Pick encodings from the data: low-cardinality (run-heavy)
+		// columns load as RLE, which both shrinks the stored image and
+		// makes them eligible for the run-native fold strategy.
+		cf, err := colstore.Load(pool, v.data,
+			colstore.Options{Encode: colstore.SuggestEncodings(v.data)})
 		if err != nil {
 			return fmt.Errorf("view %s: attach transposed store: %w", v.name, err)
 		}

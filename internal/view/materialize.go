@@ -19,9 +19,23 @@ type Builder struct {
 	archive *tape.Archive
 	mdb     *rules.ManagementDB
 	source  string
-	steps   []func(*dataset.Dataset) (*dataset.Dataset, error)
+	steps   []pipeStep
 	ops     []string
 	opts    Options
+}
+
+// pipeStep is one pipeline stage. Select and GroupBy stages also carry
+// their typed arguments so Build can fuse a Select feeding a GroupBy
+// into a selection-vector chain; every other stage only has run. The
+// recorded ops strings are the same either way, so view fingerprints do
+// not depend on whether fusion fired.
+type pipeStep struct {
+	run      func(*dataset.Dataset) (*dataset.Dataset, error)
+	isSelect bool
+	pred     relalg.Predicate
+	isGroup  bool
+	keys     []string
+	aggs     []relalg.Agg
 }
 
 // NewBuilder starts a materialization from the named raw file.
@@ -51,8 +65,11 @@ func (b *Builder) execPool() *exec.Pool {
 // (chunk-partitioned evaluation, order-preserving emit — the same rows
 // as the serial operator).
 func (b *Builder) Select(pred relalg.Predicate) *Builder {
-	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
-		return relalg.SelectWith(b.execPool(), ds, pred, 0)
+	b.steps = append(b.steps, pipeStep{
+		run: func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+			return relalg.SelectWith(b.execPool(), ds, pred, 0)
+		},
+		isSelect: true, pred: pred,
 	})
 	b.ops = append(b.ops, "select "+pred.String())
 	return b
@@ -60,18 +77,18 @@ func (b *Builder) Select(pred relalg.Predicate) *Builder {
 
 // Project keeps only the named attributes.
 func (b *Builder) Project(names ...string) *Builder {
-	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+	b.steps = append(b.steps, pipeStep{run: func(ds *dataset.Dataset) (*dataset.Dataset, error) {
 		return relalg.Project(ds, names...)
-	})
+	}})
 	b.ops = append(b.ops, "project "+strings.Join(names, ","))
 	return b
 }
 
 // Decode replaces a coded attribute with its label through its code table.
 func (b *Builder) Decode(attr string) *Builder {
-	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+	b.steps = append(b.steps, pipeStep{run: func(ds *dataset.Dataset) (*dataset.Dataset, error) {
 		return relalg.Decode(ds, attr)
-	})
+	}})
 	b.ops = append(b.ops, "decode "+attr)
 	return b
 }
@@ -79,8 +96,11 @@ func (b *Builder) Decode(attr string) *Builder {
 // GroupBy aggregates over the key attributes. With Parallelism > 1 the
 // partitions are aggregated through the pool and merged in chunk order.
 func (b *Builder) GroupBy(keys []string, aggs []relalg.Agg) *Builder {
-	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
-		return relalg.GroupByWith(b.execPool(), ds, keys, aggs, 0)
+	b.steps = append(b.steps, pipeStep{
+		run: func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+			return relalg.GroupByWith(b.execPool(), ds, keys, aggs, 0)
+		},
+		isGroup: true, keys: keys, aggs: aggs,
 	})
 	desc := "group by " + strings.Join(keys, ",")
 	for _, a := range aggs {
@@ -92,9 +112,9 @@ func (b *Builder) GroupBy(keys []string, aggs []relalg.Agg) *Builder {
 
 // Sort orders the rows.
 func (b *Builder) Sort(keys ...relalg.SortKey) *Builder {
-	b.steps = append(b.steps, func(ds *dataset.Dataset) (*dataset.Dataset, error) {
+	b.steps = append(b.steps, pipeStep{run: func(ds *dataset.Dataset) (*dataset.Dataset, error) {
 		return relalg.Sort(ds, keys...)
-	})
+	}})
 	desc := "sort"
 	for _, k := range keys {
 		desc += " " + k.Attr
@@ -138,8 +158,26 @@ func (b *Builder) materialize(def rules.ViewDef) (*dataset.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, step := range b.steps {
-		ds, err = step(ds)
+	for i := 0; i < len(b.steps); i++ {
+		st := b.steps[i]
+		// A Select feeding a GroupBy fuses into a selection-vector chain:
+		// the predicate's survivors pass downstream as row ranges and the
+		// intermediate data set is never materialized. The fold visits the
+		// selected rows in the same ascending order, so the fused result
+		// is identical to running the two steps apart.
+		if st.isSelect && i+1 < len(b.steps) && b.steps[i+1].isGroup {
+			g := b.steps[i+1]
+			sel, serr := relalg.SelectVectorWith(b.execPool(), ds, st.pred, 0)
+			if serr == nil {
+				ds, serr = relalg.GroupBySelection(ds, sel, g.keys, g.aggs)
+			}
+			if serr != nil {
+				return nil, fmt.Errorf("view: materialization step %d (%s): %w", i, b.ops[i], serr)
+			}
+			i++
+			continue
+		}
+		ds, err = st.run(ds)
 		if err != nil {
 			return nil, fmt.Errorf("view: materialization step %d (%s): %w", i, b.ops[i], err)
 		}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sync"
 
+	"statdb/internal/colstore"
 	"statdb/internal/dataset"
 	"statdb/internal/exec"
 	"statdb/internal/incr"
@@ -78,6 +79,9 @@ type View struct {
 	// cost-accounted storage structure and receives write-through
 	// updates (Sections 2.6-2.7).
 	store *store
+	// runThreshold is the planner's runs/rows ceiling for the run-native
+	// fold strategy (negative disables it; see Options.RunThreshold).
+	runThreshold float64
 }
 
 // Options configure view construction.
@@ -96,7 +100,18 @@ type Options struct {
 	// Tracer, when set, collects per-query span trees across the view
 	// and summary layers.
 	Tracer *obs.Tracer
+	// RunThreshold is the planner's runs/rows ratio ceiling for routing a
+	// whole-column fold to the run-native kernels instead of decoding
+	// rows. 0 uses the default (0.5); negative disables the run strategy
+	// entirely. Only RLE columns of a transposed store are ever eligible.
+	RunThreshold float64
 }
+
+// defaultRunThreshold is the runs/rows ceiling when Options.RunThreshold
+// is unset. At 0.5 a column must compress at least 2:1 before the run
+// kernels are worth the strategy switch; SuggestEncodings only picks RLE
+// at 4:1 or better, so freshly attached RLE columns always qualify.
+const defaultRunThreshold = 0.5
 
 // New wraps data as a concrete view registered in mdb under def. The
 // data set is owned by the view from here on.
@@ -117,6 +132,10 @@ func New(data *dataset.Dataset, mdb *rules.ManagementDB, def rules.ViewDef, opts
 		history:     h,
 		undoMode:    opts.UndoMode,
 		columnScans: make(map[string]int64),
+	}
+	v.runThreshold = opts.RunThreshold
+	if v.runThreshold == 0 {
+		v.runThreshold = defaultRunThreshold
 	}
 	if opts.WindowCapacity > 0 {
 		v.sdb.WindowCapacity = opts.WindowCapacity
@@ -191,6 +210,45 @@ func (v *View) columnSource(attr string) summary.Source {
 	}
 }
 
+// runSource is the planner heuristic for run-aware compressed
+// execution. It binds attr as a summary.RunSource when a whole-column
+// fold can run over RLE runs instead of decoded rows: the view must be
+// backed by a transposed store, the column must be RLE-encoded, and its
+// runs/rows ratio must clear runThreshold. Any miss returns nil and the
+// Summary Database stays on the row path — so the strategy decision is
+// made here, where the storage metadata lives, not in the cache layer.
+func (v *View) runSource(attr string) summary.RunSource {
+	if v.runThreshold < 0 || v.store == nil || v.store.backing != BackingTransposed {
+		return nil
+	}
+	enc, err := v.store.col.ColumnEncoding(attr)
+	if err != nil || enc != colstore.RLE {
+		return nil
+	}
+	runs, err := v.store.col.ColumnRuns(attr)
+	if err != nil {
+		return nil
+	}
+	rows := v.data.Rows()
+	if rows == 0 || float64(runs) > v.runThreshold*float64(rows) {
+		return nil
+	}
+	st := v.store
+	return func() (exec.RunColumn, bool) {
+		// Called with v.mu held, like columnSource.
+		v.countScan(attr)
+		before := st.dev.Stats()
+		vals, nulls, counts, err := st.col.NumericRunColumn(attr)
+		after := st.dev.Stats()
+		v.tracer.Charge(after.Ticks - before.Ticks)
+		v.tracer.ChargePages(after.Reads - before.Reads)
+		if err != nil {
+			return exec.RunColumn{}, false
+		}
+		return exec.RunColumn{Vals: vals, Nulls: nulls, Counts: counts, Rows: rows}, true
+	}
+}
+
 // Compute evaluates a built-in scalar function over attr through the
 // Summary Database cache. Non-summarizable attributes are rejected using
 // the schema meta-data, as Section 3.2 requires (the median of AGE_GROUP
@@ -214,7 +272,7 @@ func (v *View) compute(fn, attr string) (float64, error) {
 	if a.Kind == dataset.KindString {
 		return 0, fmt.Errorf("view %s: attribute %q is a string; use StringFrequencies", v.name, attr)
 	}
-	return v.sdb.Scalar(fn, attr, v.columnSource(attr))
+	return v.sdb.ScalarRuns(fn, attr, v.columnSource(attr), v.runSource(attr))
 }
 
 // ComputeRaw is Compute without the summarizable guard, for data-checking
@@ -232,7 +290,7 @@ func (v *View) ComputeRaw(fn, attr string) (float64, error) {
 	if a.Kind == dataset.KindString {
 		return 0, fmt.Errorf("view %s: attribute %q is a string; use StringFrequencies", v.name, attr)
 	}
-	return v.sdb.Scalar(fn, attr, v.columnSource(attr))
+	return v.sdb.ScalarRuns(fn, attr, v.columnSource(attr), v.runSource(attr))
 }
 
 // Describe returns the standing descriptive summary of Section 3.2 —
