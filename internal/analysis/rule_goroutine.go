@@ -6,17 +6,19 @@ import (
 
 // GoroutineConfine (R5) keeps all fan-out inside the race-audited
 // surfaces: internal/exec owns the worker pool (`make race` hammers
-// it), internal/obs's handles are lock-free by design, and cmd/statdb
-// runs the serve loop's ticker and shutdown goroutines. A `go`
-// statement anywhere else creates concurrency the determinism contract
-// and the race suite never see — such work must be expressed as
-// exec.Pool chunks instead.
+// it), internal/obs's handles are lock-free by design, internal/shard
+// scatters one goroutine per shard (its race suite covers concurrent
+// scatter-gather under fault injection), and cmd/statdb runs the serve
+// loop's ticker and shutdown goroutines. A `go` statement anywhere
+// else creates concurrency the determinism contract and the race suite
+// never see — such work must be expressed as exec.Pool chunks instead.
 type GoroutineConfine struct{}
 
 // goroutineDirs are the packages allowed to spawn goroutines.
 var goroutineDirs = []string{
 	"internal/exec",
 	"internal/obs",
+	"internal/shard",
 	"cmd/statdb",
 }
 
@@ -25,7 +27,7 @@ func (GoroutineConfine) ID() string { return "goroutine-confine" }
 
 // Doc implements Rule.
 func (GoroutineConfine) Doc() string {
-	return "go statements only in internal/exec, internal/obs and cmd/statdb; fan out via exec.Pool (PR 1 contract)"
+	return "go statements only in internal/exec, internal/obs, internal/shard and cmd/statdb; fan out via exec.Pool (PR 1 contract)"
 }
 
 // Check implements Rule.

@@ -67,13 +67,61 @@ func (MetricNames) Check(t *Tree, rep *Reporter) {
 				case *ast.Ident, *ast.SelectorExpr:
 					// A named constant (obs.MExecChunks et al.) — the name
 					// table check above keeps those canonical.
+				case *ast.CallExpr:
+					// obs.LabeledName(family, label) sanitizes the label at
+					// runtime into the canonical shape, so a labeled
+					// registration is safe iff the family argument is itself
+					// canonical (literal or named constant).
+					if isLabeledNameCall(arg) {
+						checkFamilyArg(arg.Args[0], rep)
+						return true
+					}
+					rep.Reportf("metric-names", call.Args[0].Pos(),
+						"%s registration with a computed name; pass a string literal, an obs.M* constant, or obs.LabeledName(family, label)", sel.Sel.Name)
 				default:
 					rep.Reportf("metric-names", call.Args[0].Pos(),
-						"%s registration with a computed name; pass a string literal or an obs.M* constant", sel.Sel.Name)
+						"%s registration with a computed name; pass a string literal, an obs.M* constant, or obs.LabeledName(family, label)", sel.Sel.Name)
 				}
 				return true
 			})
 		}
+	}
+}
+
+// isLabeledNameCall reports whether call is obs.LabeledName(...) (or
+// the package-local LabeledName(...) inside internal/obs) with the
+// two-argument shape.
+func isLabeledNameCall(call *ast.CallExpr) bool {
+	if len(call.Args) != 2 {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "LabeledName"
+	case *ast.Ident:
+		return fun.Name == "LabeledName"
+	}
+	return false
+}
+
+// checkFamilyArg validates LabeledName's family argument: a canonical
+// string literal or a named constant; anything computed is flagged.
+func checkFamilyArg(arg ast.Expr, rep *Reporter) {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if a.Kind != token.STRING {
+			return
+		}
+		name, err := strconv.Unquote(a.Value)
+		if err != nil || !metricNameForm.MatchString(name) {
+			rep.Reportf("metric-names", a.Pos(),
+				"metric name %s is not canonical [a-z0-9_.]+; it would break Prometheus exposition", a.Value)
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		// Named constant — kept canonical by the name-table check.
+	default:
+		rep.Reportf("metric-names", arg.Pos(),
+			"LabeledName family must be a string literal or an obs.M* constant")
 	}
 }
 

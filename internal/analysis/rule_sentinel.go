@@ -8,9 +8,10 @@ import (
 // SentinelErrors (R4) enforces PR 2's error-handling contract: the
 // storage sentinels ErrCorrupt and ErrTransient travel wrapped (the
 // CorruptError carries page/slot identity, retry layers add context),
-// so callers must match them with errors.Is — a == comparison silently
-// stops matching the moment a layer wraps the error. The same applies
-// to the typed budget abort: *obs.BudgetError is extracted with
+// as does the shard-availability sentinel ErrShardDown, so callers
+// must match them with errors.Is — a == comparison silently stops
+// matching the moment a layer wraps the error. The same applies to
+// the typed budget abort: *obs.BudgetError is extracted with
 // errors.As, never a type assertion or type switch on the concrete
 // type.
 type SentinelErrors struct{}
@@ -20,15 +21,15 @@ func (SentinelErrors) ID() string { return "sentinel-errors" }
 
 // Doc implements Rule.
 func (SentinelErrors) Doc() string {
-	return "match ErrCorrupt/ErrTransient with errors.Is and *obs.BudgetError with errors.As (PR 2/4 contract)"
+	return "match ErrCorrupt/ErrTransient/ErrShardDown with errors.Is and *obs.BudgetError with errors.As (PR 2/4 contract)"
 }
 
-// sentinelName reports whether e names one of the storage sentinels,
+// sentinelName reports whether e names one of the wrapped sentinels,
 // directly (ErrCorrupt) or qualified (storage.ErrCorrupt).
 func sentinelName(e ast.Expr) string {
 	switch x := e.(type) {
 	case *ast.Ident:
-		if x.Name == "ErrCorrupt" || x.Name == "ErrTransient" {
+		if x.Name == "ErrCorrupt" || x.Name == "ErrTransient" || x.Name == "ErrShardDown" {
 			return x.Name
 		}
 	case *ast.SelectorExpr:

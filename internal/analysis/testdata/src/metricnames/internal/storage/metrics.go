@@ -9,11 +9,19 @@ func (registry) Counter(name string) int                   { return len(name) }
 func (registry) Gauge(name string) int                     { return len(name) }
 func (registry) Histogram(name string, bounds []int64) int { return len(name) }
 
-// Wire registers one canonical and three broken instruments.
+// LabeledName is the minimal shape of obs.LabeledName the rule keys on.
+func LabeledName(family, label string) string { return family + "." + label }
+
+// Wire registers one canonical and three broken instruments, plus
+// labeled registrations through the sanctioned LabeledName shape.
 func Wire(prefix string) {
 	var reg registry
 	reg.Counter("storage.pool.hits")         // canonical: no finding
 	reg.Counter("Storage.Pool.Hits")         // mixed case
 	reg.Gauge("storage..inflight")           // empty segment
 	reg.Histogram(prefix+".pass_ticks", nil) // computed name
+	label := prefix
+	reg.Counter(LabeledName("storage.fault.torn_writes", label)) // sanctioned: no finding
+	reg.Counter(LabeledName("Storage.Fault", label))             // bad family literal
+	reg.Counter(LabeledName(prefix+".fault", label))             // computed family
 }

@@ -4,6 +4,7 @@ package view
 
 import (
 	"statdb/internal/obs"
+	"statdb/internal/shard"
 	"statdb/internal/storage"
 )
 
@@ -11,6 +12,9 @@ import (
 func Degrade(err error) string {
 	if err == storage.ErrCorrupt {
 		return "corrupt"
+	}
+	if err == shard.ErrShardDown {
+		return "down"
 	}
 	if storage.ErrTransient != err {
 		switch err.(type) {

@@ -362,6 +362,42 @@ func TestE16ShapeRunStrategy(t *testing.T) {
 	}
 }
 
+func TestE17ShapeShardedScatterGather(t *testing.T) {
+	tab, err := E17ShardedScatterGather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("want 7 rows (4 healthy + pre-fault + 2 degraded), got %d", len(tab.Rows))
+	}
+	// Healthy rows: monotone speedup, every answer bit-identical, and
+	// the 4-shard claim. All deterministic (virtual ticks).
+	prev := 0.0
+	for r := 0; r < 4; r++ {
+		if tab.Rows[r][7] != "yes" {
+			t.Errorf("row %d: healthy answer not bit-identical", r)
+		}
+		sx := cell(t, tab, r, 6)
+		if sx < prev {
+			t.Errorf("row %d: speedup %gx regressed below %gx", r, sx, prev)
+		}
+		prev = sx
+	}
+	if sx := cell(t, tab, 2, 6); sx < 2 {
+		t.Errorf("4-shard speedup %gx, claim needs >= 2x", sx)
+	}
+	// Degraded rows: 3/4 answered, one stale partial, nothing missing.
+	for _, r := range []int{5, 6} {
+		if tab.Rows[r][2] != "3" || tab.Rows[r][3] != "1" || tab.Rows[r][4] != "0" {
+			t.Errorf("row %d: degraded provenance = answered %s stale %s missing %s, want 3/1/0",
+				r, tab.Rows[r][2], tab.Rows[r][3], tab.Rows[r][4])
+		}
+	}
+	if strings.Contains(tab.Finding, "CLAIM FAILED") {
+		t.Errorf("finding reports failure: %s", tab.Finding)
+	}
+}
+
 func TestA1ShapeClusteredScan(t *testing.T) {
 	tab, err := AblationClustering()
 	if err != nil {

@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"E14", E14RecoveryCost},
 		{"E15", E15ObsOverhead},
 		{"E16", E16RunStrategy},
+		{"E17", E17ShardedScatterGather},
 		{"A1", AblationClustering},
 		{"A2", AblationWindowWidth},
 		{"A3", AblationAutoReorg},

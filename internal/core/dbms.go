@@ -87,6 +87,7 @@ func (d *DBMS) Metrics() obs.Snapshot {
 			s.Merge(reg.Snapshot())
 		}
 	}
+	d.shardMetrics(&s)
 	return s
 }
 

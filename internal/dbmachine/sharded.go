@@ -1,0 +1,58 @@
+package dbmachine
+
+// Sharded execution: the bridge from the processor-array cost model to
+// internal/shard's real scatter-gather backend. Aggregate (machine.go)
+// predicts what a P-wide array should cost; AggregateSharded runs the
+// same aggregate against actual storage shards and reports the measured
+// critical path, so experiments can put the §4.3 prediction and the
+// realized scale-out side by side.
+
+import (
+	"fmt"
+
+	"statdb/internal/shard"
+)
+
+// AggregateSharded computes the aggregate over column col of the
+// sharded store — real devices, real per-shard pools, the engine's
+// deterministic merge — and returns the answer with the measured cost
+// and the scatter's provenance report. Stats maps the shard run onto
+// the machine ledger: MachineTicks is the slowest shard's device ticks
+// (the array's critical path) and HostTicks is one merge step per
+// shard, exactly as the model charges one merge per processor.
+func (m *Machine) AggregateSharded(kind AggregateKind, st *shard.Store, col string) (float64, Stats, shard.Report, error) {
+	mom, rep, err := st.Moments(col)
+	stats := Stats{
+		RowsScanned:  int64(st.Rows() - rep.RowsMissing),
+		RowsShipped:  int64(len(rep.Answered) + len(rep.Stale)), // one partial per answering shard
+		MachineTicks: rep.Ticks,
+		HostTicks:    int64(st.Shards()),
+	}
+	if err != nil {
+		return 0, stats, rep, err
+	}
+	switch kind {
+	case AggSum:
+		return mom.Sum, stats, rep, nil
+	case AggMin:
+		lo, _, err := mom.Extremes()
+		return lo, stats, rep, err
+	case AggMax:
+		_, hi, err := mom.Extremes()
+		return hi, stats, rep, err
+	case AggCount:
+		return float64(mom.N), stats, rep, nil
+	}
+	return 0, stats, rep, fmt.Errorf("dbmachine: unknown aggregate %d", kind)
+}
+
+// PredictScatter returns the model's prediction for an n-row aggregate
+// on a P-processor array — the number AggregateSharded's measured
+// MachineTicks is compared against in E17.
+func (m *Machine) PredictScatter(n int64) Stats {
+	return Stats{
+		RowsScanned:  n,
+		MachineTicks: ceilDiv(n*m.cfg.RowProcessCost, int64(m.cfg.Processors)),
+		HostTicks:    int64(m.cfg.Processors),
+	}
+}

@@ -58,6 +58,56 @@ const (
 	// View layer (internal/view).
 	MViewColumnScans = "view.column_scans"
 	MViewRowReads    = "view.row_reads"
+
+	// Sharded scatter-gather backend (internal/shard). Counters are
+	// engine-wide; per-shard attribution comes from the labeled
+	// storage.fault.* / storage.retry.* families (LabeledName) and the
+	// shard health report.
+	MShardScatters      = "shard.scatters"       // scatter-gather operations run
+	MShardDegraded      = "shard.degraded"       // operations answered degraded
+	MShardStalePartials = "shard.stale_partials" // stale checkpointed partials merged
+	MShardRowsMissing   = "shard.rows_missing"   // rows absent from degraded answers
+	MShardFailures      = "shard.failures"       // per-shard operation failures
+	MShardRetries       = "shard.retries"        // shard-level operation retries
+	MShardTimeouts      = "shard.timeouts"       // tick-budget timeouts
+	MShardDown          = "shard.down"           // gauge: shards currently down
+)
+
+// LabeledName derives a per-device metric name from a canonical family
+// and a free-form label: family + "." + label, with the label coerced
+// into the canonical [a-z0-9_]+ segment shape (upper case folded,
+// anything else becomes '_', empty labels become "dev"). The result is
+// always a valid dotted canonical name, so labeled registrations can
+// never break Prometheus exposition — which is why the metric-names
+// vet rule accepts LabeledName(<literal or obs.M* constant>, x) calls.
+func LabeledName(family, label string) string {
+	b := make([]byte, 0, len(label))
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		case c >= 'A' && c <= 'Z':
+			b = append(b, c-'A'+'a')
+		default:
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 {
+		b = append(b, "dev"...)
+	}
+	return family + "." + string(b)
+}
+
+// Labeled per-device families (see LabeledName): injected-fault classes
+// of a labeled FaultDevice and the retry ledger of a labeled BufferPool.
+const (
+	MFaultReadTransient  = "storage.fault.read_transient"
+	MFaultWriteTransient = "storage.fault.write_transient"
+	MFaultTornWrites     = "storage.fault.torn_writes"
+	MFaultBitFlips       = "storage.fault.bit_flips"
+	MFaultStuckPages     = "storage.fault.stuck_pages"
+	MFaultStuckDrops     = "storage.fault.stuck_drops"
 )
 
 // PassTicksBounds are the fixed bucket bounds of the summary.pass_ticks
@@ -81,6 +131,8 @@ var baselineCounters = []string{
 	MSummarySlides, MSummaryRebuilds, MSummaryRecomputes, MSummaryPasses,
 	MSummaryRecomputeSerial, MSummaryRecomputeParallel,
 	MViewColumnScans, MViewRowReads,
+	MShardScatters, MShardDegraded, MShardStalePartials, MShardRowsMissing,
+	MShardFailures, MShardRetries, MShardTimeouts,
 }
 
 // RegisterBaseline pre-registers the canonical metric families in r, so
@@ -94,5 +146,6 @@ func RegisterBaseline(r *Registry) {
 		r.Counter(name)
 	}
 	r.Gauge(MExecInflight)
+	r.Gauge(MShardDown)
 	r.Histogram(MSummaryPassTicks, PassTicksBounds())
 }

@@ -89,6 +89,7 @@ const helpText = `commands:
   advice V                                    storage-layout recommendation
   import 'file.csv' as NAME                   CSV -> raw archive (schema inferred)
   export V to 'file.csv'                      view -> CSV
+  shards V                                    per-shard health for V's sharded backing
   stats                                       dump system metrics (counters, gauges, histograms)
   explain CMD                                 run CMD and print its cost-charged span tree
   help
@@ -300,6 +301,23 @@ func (e *Executor) exec(cmd Command) error {
 		}
 		fmt.Fprintf(e.Out, "view %s published\n", c.View)
 		return nil
+	case ShardsCmd:
+		v, err := e.Analyst.View(c.View)
+		if err != nil {
+			return err
+		}
+		st := v.ShardStore()
+		if st == nil {
+			return fmt.Errorf("query: view %s has no sharded backing", c.View)
+		}
+		w := tabwriter.NewWriter(e.Out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "SHARD\tHEALTH\tROWS\tCHUNKS\tGEN\tFAULTS\tRETRIES\tEXHAUSTED\tTICKS")
+		for _, si := range st.Info() {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				si.Label, si.Health, si.Rows, si.Chunks, si.CkptGen,
+				si.Faults.Injected(), si.Retries.Retries, si.Retries.Exhausted, si.DevTicks)
+		}
+		return w.Flush()
 	case Show:
 		v, err := e.Analyst.View(c.View)
 		if err != nil {

@@ -64,6 +64,10 @@ type Show struct {
 	Limit int
 }
 
+// ShardsCmd prints per-shard health, placement, and fault/retry
+// ledgers for a view's sharded scatter-gather backing.
+type ShardsCmd struct{ View string }
+
 // StatsCmd dumps the system-wide metrics snapshot in the stable text
 // format (counters, gauges, histograms sorted by name).
 type StatsCmd struct{}
@@ -83,6 +87,7 @@ func (Undo) cmd()        {}
 func (HistoryCmd) cmd()  {}
 func (Publish) cmd()     {}
 func (Show) cmd()        {}
+func (ShardsCmd) cmd()   {}
 func (StatsCmd) cmd()    {}
 func (ExplainCmd) cmd()  {}
 
@@ -163,7 +168,7 @@ func (p *parser) parseCommand() (Command, error) {
 		"summary", "update", "undo", "history", "publish", "show",
 		"histogram", "crosstab", "correlate", "regress", "sample",
 		"rollback", "advice", "import", "export", "save", "describe", "frequencies", "ttest",
-		"stats", "explain", "profile")
+		"shards", "stats", "explain", "profile")
 	if !ok {
 		return nil, fmt.Errorf("query: unknown command %s (try 'help')", p.peek())
 	}
@@ -244,6 +249,10 @@ func (p *parser) parseCommand() (Command, error) {
 			v, err = p.expectWord("view name")
 		}
 		cmd = FrequenciesCmd{Attr: attr, View: v}
+	case "shards":
+		var v string
+		v, err = p.expectWord("view name")
+		cmd = ShardsCmd{View: v}
 	case "stats":
 		cmd = StatsCmd{}
 	case "explain", "profile":

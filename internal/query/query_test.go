@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"statdb/internal/core"
+	"statdb/internal/shard"
 	"statdb/internal/workload"
 )
 
@@ -113,6 +114,7 @@ func TestParseSimpleCommands(t *testing.T) {
 		"summary v":      SummaryDump{View: "v"},
 		"show v":         Show{View: "v", Limit: 10},
 		"show v limit 3": Show{View: "v", Limit: 3},
+		"shards v":       ShardsCmd{View: "v"},
 	}
 	for in, want := range cases {
 		got, err := Parse(in)
@@ -196,6 +198,34 @@ func TestExecutorEndToEnd(t *testing.T) {
 	// Empty input is a no-op.
 	if err := e.Run("   "); err != nil {
 		t.Errorf("blank input: %v", err)
+	}
+}
+
+// TestShardsCommand covers the `shards V` verb: a view without a
+// sharded backing errors, one with a backing prints a per-shard health
+// table.
+func TestShardsCommand(t *testing.T) {
+	d := testDBMS(t)
+	var out bytes.Buffer
+	e := NewExecutor(d, "boral", &out)
+	if err := e.Run("materialize mv from figure1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run("shards mv"); err == nil {
+		t.Error("shards on unsharded view accepted")
+	}
+	if _, err := d.ShardView("mv", shard.Config{Shards: 2, Chunk: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := e.Run("shards mv"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"HEALTH", "shard0", "shard1", "healthy"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("shards output missing %q:\n%s", want, got)
+		}
 	}
 }
 

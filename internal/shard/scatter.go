@@ -1,0 +1,364 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"statdb/internal/dataset"
+	"statdb/internal/exec"
+	"statdb/internal/obs"
+)
+
+// Report is the provenance of one scatter-gather answer — the sharded
+// analogue of summary.LoadReport. A degraded answer is still an answer;
+// the report says exactly which shards stood behind it and what was
+// substituted or lost.
+type Report struct {
+	Shards   int   // shards in the placement
+	Answered []int // shards that answered live, ascending
+	Stale    []int // shards answered from stale checkpointed partials
+	Missing  []int // shards with no answer at all
+	// RowsMissing counts rows absent from the answer (shards in Missing,
+	// plus Stale shards of a materialization — partials cannot rebuild
+	// rows).
+	RowsMissing int
+	// StaleGens records, per stale shard, the shadow generation of the
+	// checkpoint its partial came from.
+	StaleGens map[int]uint64
+	Retries   int   // shard-level retries spent
+	Timeouts  int   // shards discarded for exceeding the op tick budget
+	Ticks     int64 // critical path: the slowest shard's virtual ticks
+}
+
+// Degraded reports whether the answer is anything less than complete
+// and live.
+func (r Report) Degraded() bool { return len(r.Stale) > 0 || len(r.Missing) > 0 }
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "answered %d/%d", len(r.Answered), r.Shards)
+	if len(r.Stale) > 0 {
+		gens := make([]string, 0, len(r.Stale))
+		for _, i := range r.Stale {
+			gens = append(gens, fmt.Sprintf("shard%d@gen%d", i, r.StaleGens[i]))
+		}
+		fmt.Fprintf(&b, " stale=[%s]", strings.Join(gens, " "))
+	}
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(&b, " missing=%v rows_missing=%d", r.Missing, r.RowsMissing)
+	}
+	if r.Timeouts > 0 {
+		fmt.Fprintf(&b, " timeouts=%d", r.Timeouts)
+	}
+	fmt.Fprintf(&b, " ticks=%d", r.Ticks)
+	return b.String()
+}
+
+// outcome is one shard's result of one scatter operation.
+type outcome struct {
+	skipped  bool // down before the op: fast-failed without I/O
+	retried  bool
+	timedOut bool
+	err      error
+	ticks    int64
+}
+
+// runShardOp executes op against sh with the bounded failure protocol:
+// the pool's own transient retry underneath, one shard-level retry on
+// top, and the virtual-tick budget as a deterministic timeout — an op
+// that ran past the budget is discarded even if it succeeded, because
+// the gather will not wait for it.
+func (s *Store) runShardOp(sh *shardState, op func() error) outcome {
+	var o outcome
+	start := sh.dev.Stats().Ticks
+	err := op()
+	o.ticks = sh.dev.Stats().Ticks - start
+	over := s.budget > 0 && o.ticks > s.budget
+	if err != nil && !over {
+		o.retried = true
+		err = op()
+		o.ticks = sh.dev.Stats().Ticks - start
+		over = s.budget > 0 && o.ticks > s.budget
+	}
+	if over {
+		o.timedOut = true
+		if err == nil {
+			err = fmt.Errorf("shard: %s exceeded op budget of %d ticks (spent %d)", sh.label, s.budget, o.ticks)
+		}
+	}
+	o.err = err
+	return o
+}
+
+// scatter fans op out across all shards (one goroutine per shard — this
+// package is on the statdb-vet goroutine allowlist), skipping Down
+// shards without I/O, then applies health transitions and metric/trace
+// bookkeeping in shard order. The returned outcomes are indexed by
+// shard.
+func (s *Store) scatter(name, col string, op func(sh *shardState) error) ([]outcome, *Report) {
+	s.met.scatters.Inc()
+	outs := make([]outcome, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		if s.Health(i) == Down {
+			outs[i] = outcome{skipped: true, err: fmt.Errorf("shard: %s: %w", sh.label, ErrShardDown)}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			outs[i] = s.runShardOp(sh, func() error { return op(sh) })
+		}(i, sh)
+	}
+	wg.Wait()
+
+	rep := &Report{Shards: len(s.shards), StaleGens: map[int]uint64{}}
+	span := s.tracer.Begin("shard.scatter",
+		obs.Attr{Key: "view", Value: s.name}, obs.Attr{Key: "op", Value: name + " " + col})
+	for i, sh := range s.shards {
+		o := outs[i]
+		if !o.skipped {
+			s.recordOutcome(sh, o.err == nil)
+		}
+		if o.retried {
+			rep.Retries++
+			s.met.retries.Inc()
+		}
+		if o.timedOut {
+			rep.Timeouts++
+			s.met.timeouts.Inc()
+		}
+		if o.err == nil {
+			rep.Answered = append(rep.Answered, i)
+		} else if !o.skipped {
+			s.met.failures.Inc()
+		}
+		if o.ticks > rep.Ticks {
+			rep.Ticks = o.ticks
+		}
+		child := s.tracer.Begin(sh.label)
+		child.Charge(o.ticks)
+		child.SetAttr("health", s.Health(i).String())
+		if o.err != nil {
+			child.SetAttr("err", o.err.Error())
+		}
+		child.End()
+	}
+	span.End()
+	return outs, rep
+}
+
+// finishReport applies the degraded-answer bookkeeping shared by every
+// gather: metrics, event log. Call once the report is final.
+func (s *Store) finishReport(name, col string, rep *Report) {
+	if !rep.Degraded() {
+		return
+	}
+	s.met.degraded.Inc()
+	s.met.stale.Add(int64(len(rep.Stale)))
+	s.met.rowsMissing.Add(int64(rep.RowsMissing))
+	s.events.Log(obs.Event{
+		Sev:  obs.SevWarn,
+		Kind: "shard",
+		Msg:  fmt.Sprintf("view %s degraded %s(%s): %s", s.name, name, col, rep),
+	})
+}
+
+// gatherErr decides the error contract: a scatter that produced nothing
+// at all (no live shard, no stale partial) over a non-empty view is
+// ErrShardDown; anything partial is a degraded answer, not an error.
+func (s *Store) gatherErr(rep *Report) error {
+	if s.rows > 0 && len(rep.Answered) == 0 && len(rep.Stale) == 0 {
+		return fmt.Errorf("shard: view %q: no shard answered: %w", s.name, ErrShardDown)
+	}
+	return nil
+}
+
+// Moments computes the whole-column moment aggregate for col by
+// scatter-gather. Healthy path: every shard folds its global chunks in
+// parallel on its own pool, and the gather left-folds the per-chunk
+// partials in ascending global chunk order — the exact merge sequence
+// of exec.ColumnMoments, so the answer is bit-identical to the
+// unsharded parallel engine at the same chunk size. Degraded path:
+// chunks of failed shards drop out of the fold; each failed shard's
+// last checkpointed partial (when one exists) is merged afterward in
+// ascending shard order, recorded as stale provenance; shards with no
+// checkpoint contribute nothing and their rows are reported missing.
+func (s *Store) Moments(col string) (exec.Moments, Report, error) {
+	numChunks := len(exec.Chunks(s.rows, s.chunk))
+	parts := make([]exec.Moments, numChunks)
+	have := make([]bool, numChunks)
+	outs, rep := s.scatter("moments", col, func(sh *shardState) error {
+		return sh.foldColumn(col, func(global int, xs []float64, valid []bool) {
+			parts[global] = exec.FoldMoments(xs, valid)
+			have[global] = true
+		})
+	})
+
+	// A failed shard's folds are void even when its op partially ran (a
+	// timeout fires after the work): only successful shards' chunks may
+	// enter the fold, or a stale fallback would double-count them.
+	for i, sh := range s.shards {
+		if outs[i].err != nil {
+			for _, ref := range sh.chunks {
+				have[ref.global] = false
+			}
+		}
+	}
+	var out exec.Moments
+	first := true
+	for c := 0; c < numChunks; c++ {
+		if !have[c] {
+			continue
+		}
+		if first {
+			out, first = parts[c], false
+		} else {
+			out = exec.MergeMoments(out, parts[c])
+		}
+	}
+	for i, sh := range s.shards {
+		if outs[i].err == nil || sh.rows == 0 {
+			continue
+		}
+		if v, gen, ok := s.stalePartial(fnMoments, col, i); ok {
+			if m, err := decodeMoments(v); err == nil {
+				if first {
+					out, first = m, false
+				} else {
+					out = exec.MergeMoments(out, m)
+				}
+				rep.Stale = append(rep.Stale, i)
+				rep.StaleGens[i] = gen
+				continue
+			}
+		}
+		rep.Missing = append(rep.Missing, i)
+		rep.RowsMissing += sh.rows
+	}
+	s.finishReport("moments", col, rep)
+	return out, *rep, s.gatherErr(rep)
+}
+
+// Freq tabulates col's frequency table by scatter-gather, merged in
+// ascending global chunk order (bit-exact for any chunking: the merged
+// multiset is order-insensitive). Degraded semantics match Moments.
+func (s *Store) Freq(col string) (exec.Freq, Report, error) {
+	numChunks := len(exec.Chunks(s.rows, s.chunk))
+	parts := make([]exec.Freq, numChunks)
+	outs, rep := s.scatter("freq", col, func(sh *shardState) error {
+		return sh.foldColumn(col, func(global int, xs []float64, valid []bool) {
+			parts[global] = exec.FoldFreq(xs, valid)
+		})
+	})
+
+	for i, sh := range s.shards {
+		if outs[i].err != nil {
+			for _, ref := range sh.chunks {
+				parts[ref.global] = nil
+			}
+		}
+	}
+	out := make(exec.Freq)
+	for c := 0; c < numChunks; c++ {
+		if parts[c] != nil {
+			out = out.Merge(parts[c])
+		}
+	}
+	for i, sh := range s.shards {
+		if outs[i].err == nil || sh.rows == 0 {
+			continue
+		}
+		if v, gen, ok := s.stalePartial(fnFreq, col, i); ok {
+			if f, err := decodeFreq(v); err == nil {
+				out = out.Merge(f)
+				rep.Stale = append(rep.Stale, i)
+				rep.StaleGens[i] = gen
+				continue
+			}
+		}
+		rep.Missing = append(rep.Missing, i)
+		rep.RowsMissing += sh.rows
+	}
+	s.finishReport("freq", col, rep)
+	return out, *rep, s.gatherErr(rep)
+}
+
+// foldColumn reads the shard's image of col and hands each owned global
+// chunk's slice to fn, fanning chunks across the shard's own pool. fn
+// must only write state owned by the chunk (the scatter contract).
+func (sh *shardState) foldColumn(col string, fn func(global int, xs []float64, valid []bool)) error {
+	xs, valid, err := sh.file.NumericColumn(col)
+	if err != nil {
+		return err
+	}
+	ranges := make([]exec.Range, len(sh.chunks))
+	for i, ref := range sh.chunks {
+		ranges[i] = exec.Range{Lo: ref.localLo, Hi: ref.localLo + ref.localLen}
+	}
+	return sh.epool.RunRanges(ranges, func(c int, r exec.Range) error {
+		fn(sh.chunks[c].global, xs[r.Lo:r.Hi], valid[r.Lo:r.Hi])
+		return nil
+	})
+}
+
+// Materialize rebuilds the view's rows by scatter-gather, in global row
+// order. Rows on failed shards are absent from the result (stale
+// aggregate partials cannot restore rows) and counted in the report;
+// the healthy path returns every row, bit-identical to the unsharded
+// dataset.
+func (s *Store) Materialize() (*dataset.Dataset, Report, error) {
+	subs := make([]*dataset.Dataset, len(s.shards))
+	outs, rep := s.scatter("materialize", "*", func(sh *shardState) error {
+		sub, err := sh.file.Materialize()
+		if err != nil {
+			return err
+		}
+		subs[sh.index] = sub
+		return nil
+	})
+
+	for i, sh := range s.shards {
+		if outs[i].err == nil {
+			continue
+		}
+		subs[i] = nil // a timed-out shard's rows are void even if produced
+		if sh.rows > 0 {
+			rep.Missing = append(rep.Missing, i)
+			rep.RowsMissing += sh.rows
+		}
+	}
+
+	// Reassemble global order: chunk -> (owner shard, local offset).
+	type owner struct {
+		shard   int
+		localLo int
+		length  int
+	}
+	numChunks := len(exec.Chunks(s.rows, s.chunk))
+	owners := make([]owner, numChunks)
+	for i, sh := range s.shards {
+		for _, ref := range sh.chunks {
+			owners[ref.global] = owner{shard: i, localLo: ref.localLo, length: ref.localLen}
+		}
+	}
+	out := dataset.New(s.schema)
+	out.SetName(s.name)
+	for c := 0; c < numChunks; c++ {
+		ow := owners[c]
+		sub := subs[ow.shard]
+		if sub == nil {
+			continue // rows lost with their shard
+		}
+		for r := ow.localLo; r < ow.localLo+ow.length; r++ {
+			if err := out.Append(sub.RowAt(r)); err != nil {
+				return nil, *rep, fmt.Errorf("shard: gather row: %w", err)
+			}
+		}
+	}
+	sort.Ints(rep.Missing)
+	s.finishReport("materialize", "*", rep)
+	return out, *rep, s.gatherErr(rep)
+}

@@ -45,6 +45,13 @@ type BufferPool struct {
 	// this). RetryStats() and HitRate() read the same counters.
 	reg *obs.Registry
 	met poolMetrics
+	lab labeledRetry
+}
+
+// labeledRetry mirrors the retry ledger under per-label names (see
+// SetLabel). Nil handles no-op, so an unlabeled pool pays nothing.
+type labeledRetry struct {
+	retries, recovered, exhausted, backoffTicks *obs.Counter
 }
 
 // poolMetrics caches the pool's counter handles so hot paths never
@@ -142,6 +149,22 @@ func NewBufferPool(dev Device, capacity int) *BufferPool {
 // Callers aggregating several pools merge the snapshots.
 func (bp *BufferPool) Metrics() *obs.Registry { return bp.reg }
 
+// SetLabel additionally registers label-namespaced twins of the retry
+// counters (storage.retry.<class>.<label>) in the pool's registry.
+// When many per-shard pools merge into one system snapshot the global
+// storage.retry.* families sum across shards; the labeled twins keep
+// each shard's recovery activity individually attributable.
+func (bp *BufferPool) SetLabel(label string) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lab = labeledRetry{
+		retries:      bp.reg.Counter(obs.LabeledName(obs.MStorageRetryAttempts, label)),
+		recovered:    bp.reg.Counter(obs.LabeledName(obs.MStorageRetryRecovered, label)),
+		exhausted:    bp.reg.Counter(obs.LabeledName(obs.MStorageRetryExhausted, label)),
+		backoffTicks: bp.reg.Counter(obs.LabeledName(obs.MStorageRetryBackoff, label)),
+	}
+}
+
 // SetRetryPolicy replaces the pool's transient-error retry policy.
 func (bp *BufferPool) SetRetryPolicy(p RetryPolicy) {
 	bp.mu.Lock()
@@ -189,6 +212,8 @@ func (bp *BufferPool) withRetry(op func() error) error {
 		if a > 0 {
 			bp.met.retries.Inc()
 			bp.met.backoffTicks.Add(backoff)
+			bp.lab.retries.Inc()
+			bp.lab.backoffTicks.Add(backoff)
 			if tc, ok := bp.dev.(TickCharger); ok {
 				tc.ChargeTicks(backoff)
 			}
@@ -198,6 +223,7 @@ func (bp *BufferPool) withRetry(op func() error) error {
 		if err == nil {
 			if a > 0 {
 				bp.met.recovered.Inc()
+				bp.lab.recovered.Inc()
 			}
 			return nil
 		}
@@ -206,6 +232,7 @@ func (bp *BufferPool) withRetry(op func() error) error {
 		}
 	}
 	bp.met.exhausted.Inc()
+	bp.lab.exhausted.Inc()
 	return err
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"statdb/internal/dataset"
+	"statdb/internal/obs"
 )
 
 func testSchema(t *testing.T) *dataset.Schema {
@@ -335,5 +336,76 @@ func TestUpgradeLegacyRejectsGarbage(t *testing.T) {
 	p := NewPage(buf)
 	if err := p.UpgradeLegacy(3); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("garbage upgrade = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFaultDeviceLabeledMetrics(t *testing.T) {
+	// Two fault devices sharing one registry must stay attributable:
+	// only the faulting shard's labeled counters move.
+	reg := obs.NewRegistry()
+	faulty := NewFaultDevice(NewMemDevice(DefaultDiskCost()),
+		FaultConfig{Seed: 1, ReadTransientRate: 1, MaxFaults: 3, Label: "shard1"}).WithMetrics(reg)
+	healthy := NewFaultDevice(NewMemDevice(DefaultDiskCost()),
+		FaultConfig{Seed: 2, Label: "shard0"}).WithMetrics(reg)
+
+	buf := make([]byte, PageSize)
+	id, _ := faulty.Allocate()
+	for i := 0; i < 3; i++ {
+		if err := faulty.ReadPage(id, buf); !errors.Is(err, ErrTransient) {
+			t.Fatalf("read %d error = %v, want ErrTransient", i, err)
+		}
+	}
+	id2, _ := healthy.Allocate()
+	if err := healthy.ReadPage(id2, buf); err != nil {
+		t.Fatalf("healthy read: %v", err)
+	}
+
+	got := reg.Counter(obs.LabeledName(obs.MFaultReadTransient, "shard1")).Value()
+	if got != 3 {
+		t.Fatalf("shard1 labeled read_transient = %d, want 3", got)
+	}
+	if v := reg.Counter(obs.LabeledName(obs.MFaultReadTransient, "shard0")).Value(); v != 0 {
+		t.Fatalf("shard0 labeled read_transient = %d, want 0", v)
+	}
+	if c := faulty.Faults(); c.ReadTransient != got {
+		t.Fatalf("FaultCounts (%d) and labeled counter (%d) disagree", c.ReadTransient, got)
+	}
+}
+
+func TestBufferPoolLabeledRetryCounters(t *testing.T) {
+	dev := NewFaultDevice(NewMemDevice(DefaultDiskCost()),
+		FaultConfig{Seed: 1, ReadTransientRate: 1, MaxFaults: 2})
+	pool := NewBufferPool(dev, 4)
+	pool.SetLabel("shard2")
+	id, _ := dev.Allocate()
+	dev.SetDisabled(true)
+	p, err := pool.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Init()
+	if err := pool.Unpin(id, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetDisabled(false)
+
+	fresh := NewBufferPool(dev, 4)
+	fresh.SetLabel("shard2")
+	if _, err := fresh.Fetch(id); err != nil {
+		t.Fatalf("fetch after transient faults: %v", err)
+	}
+	reg := fresh.Metrics()
+	if v := reg.Counter(obs.LabeledName(obs.MStorageRetryAttempts, "shard2")).Value(); v != 2 {
+		t.Fatalf("labeled retry attempts = %d, want 2", v)
+	}
+	if v := reg.Counter(obs.LabeledName(obs.MStorageRetryRecovered, "shard2")).Value(); v != 1 {
+		t.Fatalf("labeled recovered = %d, want 1", v)
+	}
+	// The global families moved in lockstep.
+	if g := fresh.RetryStats(); g.Retries != 2 || g.Recovered != 1 {
+		t.Fatalf("global retry stats = %+v, want 2 retries 1 recovered", g)
 	}
 }

@@ -1,0 +1,85 @@
+package view
+
+// Sharded backing: a view may carry a shard.Store holding a partitioned
+// copy of its rows across independent devices. Scalar aggregates then
+// run as scatter-gather with graceful degradation — the answer comes
+// back with provenance instead of an error when shards are lost. The
+// sharded copy is a read path: view updates do not write through to the
+// shards (re-shard after bulk updates), which mirrors the transposed
+// store's copy-of-record semantics.
+
+import (
+	"fmt"
+
+	"statdb/internal/shard"
+)
+
+// AttachShards attaches a sharded scatter-gather backing built from st.
+// The store should have been built from this view's current rows (see
+// core.DBMS.ShardView, which does exactly that).
+func (v *View) AttachShards(st *shard.Store) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.shards = st
+	if v.tracer != nil {
+		st.SetTracer(v.tracer)
+	}
+}
+
+// ShardStore returns the attached sharded backing, nil when none.
+func (v *View) ShardStore() *shard.Store {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.shards
+}
+
+// ShardedScalar computes fn over attr by scatter-gather across the
+// sharded backing. Supported fns are the moment family (count, total,
+// mean, variance, sd, min, max, range) plus unique; the report carries
+// the answer's provenance (shards answered, stale generations, rows
+// missing). Healthy-path answers are bit-identical to the parallel
+// unsharded engine at the store's chunk size.
+func (v *View) ShardedScalar(fn, attr string) (float64, shard.Report, error) {
+	st := v.ShardStore()
+	if st == nil {
+		return 0, shard.Report{}, fmt.Errorf("view %s: no sharded backing attached", v.name)
+	}
+	v.countScan(attr)
+	switch fn {
+	case "unique":
+		f, rep, err := st.Freq(attr)
+		if err != nil {
+			return 0, rep, err
+		}
+		return float64(len(f)), rep, nil
+	}
+	m, rep, err := st.Moments(attr)
+	if err != nil {
+		return 0, rep, err
+	}
+	switch fn {
+	case "count":
+		return float64(m.N), rep, nil
+	case "total":
+		return m.Sum, rep, nil
+	case "mean":
+		val, err := m.MeanValue()
+		return val, rep, err
+	case "variance":
+		val, err := m.Variance()
+		return val, rep, err
+	case "sd":
+		val, err := m.SD()
+		return val, rep, err
+	case "min":
+		lo, _, err := m.Extremes()
+		return lo, rep, err
+	case "max":
+		_, hi, err := m.Extremes()
+		return hi, rep, err
+	case "range":
+		lo, hi, err := m.Extremes()
+		return hi - lo, rep, err
+	}
+	return 0, rep, fmt.Errorf("view %s: sharded scalar %q not supported", v.name, fn)
+}

@@ -17,6 +17,7 @@ import (
 	"statdb/internal/obs"
 	"statdb/internal/relalg"
 	"statdb/internal/rules"
+	"statdb/internal/shard"
 	"statdb/internal/stats"
 	"statdb/internal/summary"
 )
@@ -79,6 +80,9 @@ type View struct {
 	// cost-accounted storage structure and receives write-through
 	// updates (Sections 2.6-2.7).
 	store *store
+	// shards, when attached, is the scatter-gather partitioned backing
+	// (see sharded.go); a read-path copy like the transposed store.
+	shards *shard.Store
 	// runThreshold is the planner's runs/rows ceiling for the run-native
 	// fold strategy (negative disables it; see Options.RunThreshold).
 	runThreshold float64
