@@ -16,7 +16,9 @@
 //
 // `statdb serve` runs the query loop and the observability endpoint
 // concurrently: /metrics (Prometheus text), /statz (JSON snapshot +
-// sampled series), /tracez (recent query span trees) and /healthz.
+// sampled series), /tracez (recent query span trees), /profilez
+// (continuous per-verb profiles) and /healthz (rolling SLO report when
+// -slo-* thresholds are set).
 // Statements are still read from stdin; on stdin EOF the server keeps
 // serving until SIGINT/SIGTERM or a `quit` statement.
 package main
@@ -185,6 +187,9 @@ func runServe(args []string, in io.Reader, out, errw io.Writer) int {
 	sampleEvery := fs.Int64("log-sample", 1, "head-sample routine query records: keep 1 in N")
 	interval := fs.Duration("sample-interval", time.Second, "metrics sampler period")
 	window := fs.Int("sample-window", 120, "samples retained in the time-series ring")
+	sloP99 := fs.Int64("slo-p99-ticks", 0, "warn on /healthz when a verb's windowed p99 exceeds this many ticks (0 = off)")
+	sloErrRate := fs.Float64("slo-error-rate", 0, "warn on /healthz when a verb's windowed error rate exceeds this fraction (0 = off)")
+	sloBreachRate := fs.Float64("slo-breach-rate", 0, "warn on /healthz when a verb's windowed budget-breach rate exceeds this fraction (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -226,11 +231,17 @@ func runServe(args []string, in io.Reader, out, errw io.Writer) int {
 		return 1
 	}
 	srv := &http.Server{Handler: obs.NewHandler(obs.HandlerConfig{
-		Snap:    d.Metrics,
-		Tracer:  d.Tracer(),
-		Sampler: smp,
+		Snap:     d.Metrics,
+		Tracer:   d.Tracer(),
+		Sampler:  smp,
+		Profiles: d.Profiles(),
+		SLO: obs.NewSLO(smp, obs.SLOConfig{
+			P99Ticks:      *sloP99,
+			MaxErrorRate:  *sloErrRate,
+			MaxBreachRate: *sloBreachRate,
+		}),
 	})}
-	fmt.Fprintf(out, "statdb serving on http://%s (/metrics /statz /tracez /healthz)\n", ln.Addr())
+	fmt.Fprintf(out, "statdb serving on http://%s (/metrics /statz /tracez /profilez /healthz)\n", ln.Addr())
 	elog.Log(obs.Event{Kind: "serve", Msg: fmt.Sprintf("listening on %s", ln.Addr())})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

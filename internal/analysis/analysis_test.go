@@ -20,6 +20,7 @@ var fixtureCases = []string{
 	"sentinel",
 	"goroutine",
 	"metricnames",
+	"spanbalance",
 	"suppress",
 }
 
@@ -124,8 +125,8 @@ func TestRuleDocs(t *testing.T) {
 		}
 		seen[r.ID()] = true
 	}
-	if len(seen) < 6 {
-		t.Errorf("want >= 6 rules, have %d", len(seen))
+	if len(seen) < 7 {
+		t.Errorf("want >= 7 rules, have %d", len(seen))
 	}
 }
 

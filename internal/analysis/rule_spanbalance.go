@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SpanBalance (R7) keeps the profiler's tick accounting sound: a span
+// opened with Tracer.Begin must be closed with End in the same
+// function, or handed to someone who will close it. An unclosed span
+// never folds its self ticks into the enclosing totals, so FoldSpan's
+// invariant — profile ticks equal the root's total exactly — silently
+// breaks for every query that runs through the leak. The check is
+// syntactic: inside each internal/ function, a `sp := x.Begin(...)`
+// (or `sp = ...`) must be followed by a reachable `sp.End()` — plain
+// or deferred — unless sp escapes the function (returned, passed as an
+// argument, stored in a composite literal or another variable), in
+// which case closing is the receiver's contract. A Begin whose result
+// is discarded outright can never be ended and is always a finding.
+type SpanBalance struct{}
+
+// ID implements Rule.
+func (SpanBalance) ID() string { return "span-balance" }
+
+// Doc implements Rule.
+func (SpanBalance) Doc() string {
+	return "every Tracer.Begin in internal/ needs a matching End in the same function (defer counts), unless the span escapes (PR 8 contract)"
+}
+
+// Check implements Rule.
+func (SpanBalance) Check(t *Tree, rep *Reporter) {
+	for _, pkg := range t.Pkgs {
+		if !underDir(pkg.Rel, "internal") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Ast.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkSpans(fn.Body, rep)
+			}
+		}
+	}
+}
+
+// isBeginCall returns the call if e is a `<recv>.Begin(...)` call.
+func isBeginCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Begin" {
+		return nil, false
+	}
+	return call, true
+}
+
+// checkSpans audits one function body. Nested function literals are
+// part of the body: a Begin in the outer function ended inside a
+// closure (or vice versa) balances, matching how the scatter path
+// opens spans around pool callbacks.
+func checkSpans(body *ast.BlockStmt, rep *Reporter) {
+	// Pass 1: collect Begin sites — the span variable each binds, or
+	// the discarded calls that can never be ended.
+	type site struct {
+		name string
+		call *ast.CallExpr
+	}
+	var sites []site
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := isBeginCall(st.X); ok {
+				rep.Reportf("span-balance", call.Pos(),
+					"Begin result discarded; the span can never be ended")
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := isBeginCall(st.Rhs[0])
+			if !ok {
+				return true
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored into a field/index: escapes by construction
+			}
+			if id.Name == "_" {
+				rep.Reportf("span-balance", call.Pos(),
+					"Begin result discarded; the span can never be ended")
+				return true
+			}
+			sites = append(sites, site{name: id.Name, call: call})
+		}
+		return true
+	})
+
+	// Pass 2: for each bound span, look for an End call or an escape
+	// anywhere in the body.
+	for _, s := range sites {
+		ended, escaped := false, false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == s.name && sel.Sel.Name == "End" {
+						ended = true
+					}
+				}
+				for _, a := range x.Args {
+					if usesIdent(a, s.name) {
+						escaped = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range x.Results {
+					if usesIdent(r, s.name) {
+						escaped = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, e := range x.Elts {
+					if usesIdent(e, s.name) {
+						escaped = true
+					}
+				}
+			case *ast.AssignStmt:
+				// sp on the right of a later assignment aliases or stores
+				// the span; closing it is the new holder's business.
+				for _, r := range x.Rhs {
+					if r != ast.Expr(s.call) && usesIdent(r, s.name) {
+						escaped = true
+					}
+				}
+			case *ast.SendStmt:
+				if usesIdent(x.Value, s.name) {
+					escaped = true
+				}
+			}
+			return true
+		})
+		if !ended && !escaped {
+			rep.Reportf("span-balance", s.call.Pos(),
+				"span %s opened here has no reachable %s.End() in this function", s.name, s.name)
+		}
+	}
+}
+
+// usesIdent reports whether expr mentions an identifier named name.
+// A mention inside a method-call receiver chain counts too — that is
+// conservative in the non-flagging direction.
+func usesIdent(expr ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -22,5 +22,6 @@ func DefaultRules() []Rule {
 		SentinelErrors{},
 		GoroutineConfine{},
 		MetricNames{},
+		SpanBalance{},
 	}
 }

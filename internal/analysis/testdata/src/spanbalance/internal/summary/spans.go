@@ -1,0 +1,77 @@
+// Package summary is a span-balance fixture: spans opened with Begin
+// must be ended in the same function or escape to a new owner.
+package summary
+
+// Tracer and Span mimic the obs shapes the rule matches syntactically.
+type Tracer struct{}
+
+type Span struct{}
+
+func (t *Tracer) Begin(name string) *Span { return &Span{} }
+func (s *Span) End()                      {}
+func (s *Span) SetAttr(k, v string)       {}
+
+type hook struct {
+	Parent *Span
+}
+
+// Leak opens a span and forgets it; the rule must flag the Begin.
+func Leak(tr *Tracer) {
+	sp := tr.Begin("scan")
+	sp.SetAttr("rows", "8")
+}
+
+// Dropped discards the Begin result outright; always a finding.
+func Dropped(tr *Tracer) {
+	tr.Begin("scan")
+}
+
+// Blank binds the span to _, which can never be ended either.
+func Blank(tr *Tracer) {
+	_ = tr.Begin("scan")
+}
+
+// DeferClose is the canonical balanced form; no finding.
+func DeferClose(tr *Tracer) {
+	sp := tr.Begin("fold")
+	defer sp.End()
+}
+
+// DirectClose ends explicitly mid-function; no finding.
+func DirectClose(tr *Tracer) {
+	sp := tr.Begin("fold")
+	sp.SetAttr("engine", "serial")
+	sp.End()
+}
+
+// ClosureClose ends inside a nested literal, the scatter idiom; no
+// finding — the closure is part of the function body.
+func ClosureClose(tr *Tracer) {
+	sp := tr.Begin("shard")
+	fn := func() { sp.End() }
+	fn()
+}
+
+// Handoff escapes through a composite literal: the hook's consumer owns
+// the close; no finding.
+func Handoff(tr *Tracer) hook {
+	sp := tr.Begin("range")
+	return hook{Parent: sp}
+}
+
+// PassedAlong escapes as a call argument; no finding.
+func PassedAlong(tr *Tracer, close func(*Span)) {
+	sp := tr.Begin("op")
+	close(sp)
+}
+
+// Reassigned rebinds an outer variable (the coordinator's fast-fail
+// idiom) and still ends it; no finding.
+func Reassigned(tr *Tracer, skipped bool) {
+	var sp *Span
+	if skipped {
+		sp = tr.Begin("skip")
+		sp.End()
+	}
+	_ = sp
+}

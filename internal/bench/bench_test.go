@@ -398,6 +398,40 @@ func TestE17ShapeShardedScatterGather(t *testing.T) {
 	}
 }
 
+func TestE18ShapeProfilerOverhead(t *testing.T) {
+	tab, err := E18ProfilerOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("want 6 rows (3 query configs + 2 micro + conservation), got %d", len(tab.Rows))
+	}
+	if tab.Rows[0][2] != "baseline" {
+		t.Errorf("row 0 is not the baseline: %v", tab.Rows[0])
+	}
+	// Tick conservation is deterministic and must hold exactly — the
+	// profiler is only trustworthy if stitching loses no charges.
+	if tab.Rows[5][2] != "yes" {
+		t.Errorf("folded profile ticks diverged from the root span total: %v", tab.Rows[5])
+	}
+	// The experiment's claim is <5% fold overhead; the assertion leaves
+	// headroom for shared-CI timer noise (two independently calibrated
+	// wall-clock benchmarks), while a real regression — folding per row
+	// instead of per span — would cost whole multiples.
+	if ov := cell(t, tab, 1, 2); ov > 10 {
+		t.Errorf("fold+ring overhead %+.1f%%, want well under 10%%", ov)
+	}
+	if ov := cell(t, tab, 2, 2); ov > 15 {
+		t.Errorf("fold+ring+render overhead %+.1f%%, want well under 15%%", ov)
+	}
+	// The finding's wall-clock half may report noise on a loaded CI
+	// machine (E15's precedent), but the deterministic half must never
+	// fail.
+	if strings.Contains(tab.Finding, "CLAIM FAILED: folded") {
+		t.Errorf("finding reports a conservation failure: %s", tab.Finding)
+	}
+}
+
 func TestA1ShapeClusteredScan(t *testing.T) {
 	tab, err := AblationClustering()
 	if err != nil {

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"statdb/internal/obs"
+	"statdb/internal/shard"
+	"statdb/internal/workload"
+)
+
+// E18ProfilerOverhead measures what the deterministic profiler costs on
+// top of the always-on span machinery E15 already priced. The workload
+// is E17's sharded scalar: a 4-shard Moments over the 102400-row
+// AVE_SALARY column under a "query" root span, so every per-query fold
+// walks a realistic stitched tree (root, scatter span, one child per
+// shard, per-range grandchildren). The baseline runs the query and ends
+// the root span — exactly what every statement paid before the profiler
+// existed; the profiled configuration adds what the query layer now
+// does per statement: FoldSpan into a site profile plus retention in
+// the continuous-profile ring. A third row adds a /profilez-style
+// merged render every 8th query, far above any real scrape rate. Two
+// micro rows pin the per-fold and per-merge costs that explain the
+// query-level result.
+//
+// The experiment also asserts the profiler's soundness invariant on the
+// cold (uncached) query: the folded profile's tick total must equal the
+// root span's Total exactly — cross-shard stitching conserves every
+// charged tick, which is what makes the profile trustworthy for
+// attribution. Overhead is wall clock (the claim is the ratio);
+// conservation is virtual ticks (exact).
+func E18ProfilerOverhead() (*Table, error) {
+	t := &Table{
+		ID:     "E18",
+		Title:  "Profiler overhead: span-tree folding and ring retention on a 4-shard scalar query (wall clock)",
+		Claim:  "folding a query's span tree into the continuous profile costs per span, never per row, so profiling adds <5% to a sharded column fold; folded ticks equal the root span total exactly",
+		Header: []string{"configuration", "ns/op", "overhead"},
+	}
+	census, err := workload.Census(workload.CensusSpec{Regions: 16, Races: 8, AgeGroups: 4, Educations: 100, Seed: 18})
+	if err != nil {
+		return nil, err
+	}
+	const col = "AVE_SALARY"
+	// Small per-shard buffer pools so every query really pays device
+	// ticks (a warm default pool would cache the column and charge
+	// nothing, leaving the conservation check vacuous).
+	st, err := shard.New("census", census, shard.Config{Shards: 4, PoolPages: 4})
+	if err != nil {
+		return nil, err
+	}
+	tr := obs.NewTracer()
+	st.SetTracer(tr)
+
+	// Soundness first, on the cold query: every device tick charged by
+	// the scatter must survive the fold.
+	root := tr.Begin("query")
+	if _, _, err := st.Moments(col); err != nil {
+		return nil, err
+	}
+	root.End()
+	prof := obs.FoldSpan(root)
+	conserved := prof.Ticks == root.Total()
+	if prof.Ticks <= 0 {
+		return nil, fmt.Errorf("bench: E18 cold query folded %d ticks; expected real device charges", prof.Ticks)
+	}
+
+	query := func(fold bool, ring *obs.ProfileRing, renderEvery int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				root := tr.Begin("query")
+				if _, _, err := st.Moments(col); err != nil {
+					b.Fatal(err)
+				}
+				root.End()
+				if fold {
+					ring.Add("compute", obs.FoldSpan(root))
+					if renderEvery > 0 && i%renderEvery == 0 {
+						_ = ring.Merged("compute")
+					}
+				}
+			}
+		}
+	}
+
+	// The per-query cost is ~milliseconds of goroutine-scheduled scatter,
+	// so a single calibrated run carries a few percent of timer noise —
+	// more than the effect under measurement. Take the min of three runs
+	// per configuration (the least-noise estimator for a fixed workload).
+	minBench := func(fn func(b *testing.B)) int64 {
+		best := int64(0)
+		for i := 0; i < 3; i++ {
+			ns := testing.Benchmark(fn).NsPerOp()
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	base := minBench(query(false, nil, 0))
+	ring := obs.NewProfileRing(64)
+	folded := minBench(query(true, ring, 0))
+	ring2 := obs.NewProfileRing(64)
+	served := minBench(query(true, ring2, 8))
+
+	overhead := 0.0
+	if base > 0 {
+		overhead = 100 * float64(folded-base) / float64(base)
+	}
+	servedOverhead := 0.0
+	if base > 0 {
+		servedOverhead = 100 * float64(served-base) / float64(base)
+	}
+
+	t.AddRow("query + spans, no profiler", base, "baseline")
+	t.AddRow("query + fold + ring", folded, fmt.Sprintf("%+.1f%%", overhead))
+	t.AddRow("query + fold + ring, merged render every 8th", served, fmt.Sprintf("%+.1f%%", servedOverhead))
+
+	// Per-event costs: one fold walks the ~dozens-of-spans tree once;
+	// one merge sums two site maps. Both are microseconds against a
+	// ~100k-row column fold, which is why the query-level rows are
+	// noise-level.
+	foldMicro := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = obs.FoldSpan(root)
+		}
+	})
+	mergeMicro := testing.Benchmark(func(b *testing.B) {
+		acc := obs.NewProfile()
+		for i := 0; i < b.N; i++ {
+			acc.Merge(prof)
+		}
+	})
+	t.AddRow("FoldSpan, one query tree", foldMicro.NsPerOp(), "-")
+	t.AddRow("Profile.Merge, one partial", mergeMicro.NsPerOp(), "-")
+
+	exact := "yes"
+	if !conserved {
+		exact = "NO"
+	}
+	t.AddRow("tick conservation (fold == root total)", 0, exact)
+
+	t.Finding = fmt.Sprintf(
+		"folding every query's span tree into the continuous profile adds %+.1f%% to the 4-shard column fold "+
+			"(%+.1f%% with a /profilez-rate merged render), because one fold costs ~%dns and one merge ~%dns against "+
+			"a ~100k-row scan — the profiler charges per span, never per row; the cold query folded %d ticks and the "+
+			"root span totalled %d, so cross-shard stitching conserved every tick exactly",
+		overhead, servedOverhead, foldMicro.NsPerOp(), mergeMicro.NsPerOp(), prof.Ticks, root.Total())
+	switch {
+	case !conserved:
+		t.Finding += fmt.Sprintf(" [CLAIM FAILED: folded %d ticks != root total %d]", prof.Ticks, root.Total())
+	case overhead >= 5:
+		t.Finding += fmt.Sprintf(" [CLAIM FAILED: %+.1f%% >= 5%% fold overhead]", overhead)
+	}
+	return t, nil
+}

@@ -95,6 +95,7 @@ func All() []Experiment {
 		{"E15", E15ObsOverhead},
 		{"E16", E16RunStrategy},
 		{"E17", E17ShardedScatterGather},
+		{"E18", E18ProfilerOverhead},
 		{"A1", AblationClustering},
 		{"A2", AblationWindowWidth},
 		{"A3", AblationAutoReorg},

@@ -37,6 +37,9 @@ type DBMS struct {
 	// counters live in per-pool registries and are merged by Metrics().
 	metrics *obs.Registry
 	tracer  *obs.Tracer
+	// profiles is the continuous-profile ring: the last N folded query
+	// profiles per verb, merged on demand for `/profilez`.
+	profiles *obs.ProfileRing
 	// maxTicks/maxPages are the per-query resource ceilings executors
 	// apply when they open a statement budget (0 = unlimited).
 	maxTicks int64
@@ -67,6 +70,7 @@ func NewWithArchive(a *tape.Archive) *DBMS {
 		parallelism: runtime.GOMAXPROCS(0),
 		metrics:     reg,
 		tracer:      obs.NewTracer(),
+		profiles:    obs.NewProfileRing(64),
 	}
 }
 
@@ -76,6 +80,10 @@ func (d *DBMS) MetricsRegistry() *obs.Registry { return d.metrics }
 
 // Tracer exposes the system tracer collecting per-query span trees.
 func (d *DBMS) Tracer() *obs.Tracer { return d.tracer }
+
+// Profiles exposes the continuous-profile ring executors fold every
+// statement's span tree into — the store behind /profilez.
+func (d *DBMS) Profiles() *obs.ProfileRing { return d.profiles }
 
 // Metrics returns the system-wide snapshot: the DBMS registry merged
 // with every stored view's buffer-pool registry, so storage.* families

@@ -30,6 +30,12 @@ type QueryRecord struct {
 	Engine     string `json:"engine,omitempty"`     // serial | parallel
 	Budget     string `json:"budget,omitempty"`     // budget breach description, if any
 	Err        string `json:"err,omitempty"`        // statement error, if any
+	// Slow-query capture: a statement breaching the slow-ticks threshold
+	// or its budget gets its rendered top-sites profile and explain tree
+	// attached, so the incident record alone answers "where did the
+	// ticks go" without rerunning the query.
+	Profile string `json:"profile,omitempty"`
+	Explain string `json:"explain,omitempty"`
 }
 
 // Event is one JSONL record. Tick is virtual time (the statement's
@@ -106,6 +112,16 @@ func NewEventLog(cfg EventLogConfig) (*EventLog, error) {
 		l.w = io.Discard
 	}
 	return l, nil
+}
+
+// SlowTicks reports the configured slow-query threshold (0 when
+// disabled or the log is nil) — executors consult it to decide whether
+// to attach a profile capture before logging.
+func (l *EventLog) SlowTicks() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.cfg.SlowTicks
 }
 
 // Close closes the underlying file, if any.

@@ -74,24 +74,30 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 // HandlerConfig wires a Handler to the live system. Snap supplies the
 // merged snapshot (core.DBMS.Metrics in the server); Tracer supplies
 // recent span trees for /tracez; Sampler, when set, contributes the
-// time-series window to /statz. All fields are optional — a zero
-// config serves empty-but-valid responses, so the endpoint can come up
-// before the DBMS does.
+// time-series window to /statz; Profiles serves the continuous profile
+// ring at /profilez; SLO turns /healthz from a liveness stub into the
+// rolling-objective report. All fields are optional — a zero config
+// serves empty-but-valid responses, so the endpoint can come up before
+// the DBMS does.
 type HandlerConfig struct {
-	Snap    func() Snapshot
-	Tracer  *Tracer
-	Sampler *Sampler
+	Snap     func() Snapshot
+	Tracer   *Tracer
+	Sampler  *Sampler
+	Profiles *ProfileRing
+	SLO      *SLO
 }
 
 // NewHandler builds the exposition endpoint:
 //
-//	/metrics — Prometheus text format
-//	/statz   — JSON: snapshot plus the sampler's series window
-//	/tracez  — plain-text span trees of the last N queries
-//	/healthz — "ok"
+//	/metrics  — Prometheus text format
+//	/statz    — JSON: snapshot plus the sampler's series window
+//	/tracez   — plain-text span trees of the last N queries
+//	/profilez — merged continuous profiles per verb (?format=json for JSON)
+//	/healthz  — "ok" (or "warn" plus per-verb SLO lines under burn)
 //
 // Every handler reads through race-safe paths (registry snapshots,
-// RingSink copies), so it is safe to serve while queries execute.
+// RingSink copies, ProfileRing merges), so it is safe to serve while
+// queries execute.
 func NewHandler(cfg HandlerConfig) http.Handler {
 	snap := cfg.Snap
 	if snap == nil {
@@ -100,7 +106,30 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		if cfg.SLO == nil {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		_ = cfg.SLO.Status().WriteText(w)
+	})
+	mux.HandleFunc("/profilez", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			merged := map[string]*Profile{}
+			for _, v := range cfg.Profiles.Verbs() {
+				merged[v] = cfg.Profiles.Merged(v)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(merged)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Profiles == nil {
+			fmt.Fprintln(w, "(no profiles)")
+			return
+		}
+		_ = cfg.Profiles.WriteText(w, 0)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

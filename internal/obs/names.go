@@ -25,6 +25,17 @@ const (
 	MQueryStatements = "query.statements" // statements parsed and executed
 	MQueryErrors     = "query.errors"     // statements that failed
 
+	// Continuous profiler (internal/obs profile + query executor).
+	MProfileQueries = "profile.queries"       // span trees folded into the profile ring
+	MProfileSlow    = "profile.slow_captures" // slow/breached queries with profile attached
+
+	// Per-verb SLO families (LabeledName with the query verb): the
+	// rolling p50/p90/p99 and burn rates on /healthz derive from the
+	// sampler's windowed deltas of these.
+	MQueryTicks      = "query.ticks"           // histogram family: total ticks per statement
+	MQueryVerbErrors = "query.verb_errors"     // counter family: failed statements
+	MQueryBreaches   = "query.budget_breaches" // counter family: budget-aborted statements
+
 	// Storage layer (internal/storage). Each buffer pool keeps these in
 	// its own registry; core.DBMS merges them.
 	MStoragePoolHits        = "storage.pool.hits"
@@ -114,6 +125,13 @@ const (
 // histogram (virtual ticks per whole-column recompute).
 func PassTicksBounds() []int64 { return []int64{1_000, 10_000, 100_000, 1_000_000} }
 
+// QueryTicksBounds are the fixed bucket bounds of the per-verb
+// query.ticks histograms (total virtual ticks per statement). A decade
+// wider than PassTicksBounds at the bottom: cache hits land in the
+// first bucket, whole-column recomputes in the middle, sharded scans at
+// the top.
+func QueryTicksBounds() []int64 { return []int64{100, 1_000, 10_000, 100_000, 1_000_000} }
+
 // baselineCounters lists every canonical counter, so a fresh registry
 // exports the full (all-zero) family set and the text format's shape
 // does not depend on which subsystems happened to run.
@@ -122,6 +140,7 @@ var baselineCounters = []string{
 	MExecRunsFolded, MExecRowsDecoded, MExecRunStrategyHits,
 	MMedwinSlides, MMedwinRebuilds,
 	MQueryStatements, MQueryErrors,
+	MProfileQueries, MProfileSlow,
 	MStoragePoolHits, MStoragePoolMisses, MStoragePoolEvictions,
 	MStoragePoolEvictDirty, MStoragePoolEvictFailed,
 	MStoragePageReads, MStoragePageWrites, MStorageChecksumFailed,

@@ -19,6 +19,13 @@ type HistDelta struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	// Bounds/Counts carry the interval's own bucket deltas so windowed
+	// consumers (the SLO layer) can re-aggregate quantiles across many
+	// samples instead of averaging per-sample percentiles (which is
+	// statistically wrong). Excluded from JSON: /statz payloads and the
+	// series golden keep their shape.
+	Bounds []int64 `json:"-"`
+	Counts []int64 `json:"-"`
 }
 
 // Sample is one interval's worth of registry movement. Counters and
@@ -107,7 +114,7 @@ func (s *Sampler) Tick(now int64) {
 		} else {
 			d.Counts = append([]int64(nil), hv.Counts...)
 		}
-		hd := HistDelta{Count: dc, Sum: d.Sum}
+		hd := HistDelta{Count: dc, Sum: d.Sum, Bounds: d.Bounds, Counts: d.Counts}
 		hd.P50, _ = d.Quantile(0.50)
 		hd.P90, _ = d.Quantile(0.90)
 		hd.P99, _ = d.Quantile(0.99)

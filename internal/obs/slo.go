@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SLOConfig sets the burn thresholds the serve loop watches. A zero
+// threshold disables that objective, so the zero config never warns —
+// attach thresholds through the statdb serve flags.
+type SLOConfig struct {
+	P99Ticks      int64   // warn when a verb's windowed p99 exceeds this many ticks
+	MaxErrorRate  float64 // warn when errors/statements over the window exceeds this
+	MaxBreachRate float64 // warn when budget breaches/statements exceeds this
+}
+
+// VerbSLO is one query verb's rolling objectives over the sampler
+// window: statement count, tick percentiles re-aggregated from the
+// windowed bucket deltas, and error/budget-breach burn rates.
+type VerbSLO struct {
+	Verb       string   `json:"verb"`
+	Count      int64    `json:"count"`
+	P50        float64  `json:"p50"`
+	P90        float64  `json:"p90"`
+	P99        float64  `json:"p99"`
+	Errors     int64    `json:"errors"`
+	Breaches   int64    `json:"breaches"`
+	ErrorRate  float64  `json:"error_rate"`
+	BreachRate float64  `json:"breach_rate"`
+	Warn       []string `json:"warn,omitempty"` // objectives this verb is burning
+}
+
+// SLOStatus is the rolled-up answer /healthz serves.
+type SLOStatus struct {
+	OK     bool      `json:"ok"`
+	Window int64     `json:"window"` // total ticks covered by the window
+	Verbs  []VerbSLO `json:"verbs,omitempty"`
+}
+
+// SLO derives rolling per-verb percentiles and burn rates from a
+// Sampler's retained window. It holds no state of its own: every Status
+// call re-aggregates the window's query.ticks.<verb> bucket deltas into
+// one windowed histogram per verb (sound percentile math — averaging
+// per-sample percentiles is not) and sums the verb error/breach
+// counters. A nil SLO reports a healthy empty status.
+type SLO struct {
+	smp *Sampler
+	cfg SLOConfig
+}
+
+// NewSLO watches smp's window under cfg's thresholds.
+func NewSLO(smp *Sampler, cfg SLOConfig) *SLO {
+	return &SLO{smp: smp, cfg: cfg}
+}
+
+// labelSuffix splits a LabeledName registration back into its label:
+// "query.ticks.compute" under family "query.ticks" yields "compute".
+func labelSuffix(name, family string) (string, bool) {
+	if strings.HasPrefix(name, family+".") {
+		return name[len(family)+1:], true
+	}
+	return "", false
+}
+
+// Status aggregates the current window. Verbs are sorted by name; OK is
+// false when any verb burns any configured objective.
+func (s *SLO) Status() SLOStatus {
+	st := SLOStatus{OK: true}
+	if s == nil || s.smp == nil {
+		return st
+	}
+	type acc struct {
+		hist     HistValue
+		errors   int64
+		breaches int64
+	}
+	accs := map[string]*acc{}
+	get := func(verb string) *acc {
+		a := accs[verb]
+		if a == nil {
+			a = &acc{}
+			accs[verb] = a
+		}
+		return a
+	}
+	for _, sm := range s.smp.Samples() {
+		st.Window += sm.Dur
+		for name, hd := range sm.Hists {
+			verb, ok := labelSuffix(name, MQueryTicks)
+			if !ok {
+				continue
+			}
+			a := get(verb)
+			a.hist.Count += hd.Count
+			a.hist.Sum += hd.Sum
+			if len(a.hist.Counts) == len(hd.Counts) {
+				for i := range hd.Counts {
+					a.hist.Counts[i] += hd.Counts[i]
+				}
+			} else {
+				a.hist.Bounds = hd.Bounds
+				a.hist.Counts = append([]int64(nil), hd.Counts...)
+			}
+		}
+		for name, d := range sm.Counters {
+			if verb, ok := labelSuffix(name, MQueryVerbErrors); ok {
+				get(verb).errors += d
+			}
+			if verb, ok := labelSuffix(name, MQueryBreaches); ok {
+				get(verb).breaches += d
+			}
+		}
+	}
+	verbs := make([]string, 0, len(accs))
+	for v := range accs {
+		verbs = append(verbs, v)
+	}
+	sort.Strings(verbs)
+	for _, verb := range verbs {
+		a := accs[verb]
+		v := VerbSLO{Verb: verb, Count: a.hist.Count, Errors: a.errors, Breaches: a.breaches}
+		v.P50, _ = a.hist.Quantile(0.50)
+		v.P90, _ = a.hist.Quantile(0.90)
+		v.P99, _ = a.hist.Quantile(0.99)
+		// Statements observed = histogram count plus statements that
+		// failed before a tick total was recorded; the histogram count is
+		// the denominator every recorded statement shares.
+		denom := a.hist.Count
+		if denom > 0 {
+			v.ErrorRate = float64(a.errors) / float64(denom)
+			v.BreachRate = float64(a.breaches) / float64(denom)
+		} else if a.errors > 0 {
+			v.ErrorRate = 1
+		}
+		if s.cfg.P99Ticks > 0 && v.P99 > float64(s.cfg.P99Ticks) {
+			v.Warn = append(v.Warn, fmt.Sprintf("p99 %g > %d ticks", v.P99, s.cfg.P99Ticks))
+		}
+		if s.cfg.MaxErrorRate > 0 && v.ErrorRate > s.cfg.MaxErrorRate {
+			v.Warn = append(v.Warn, fmt.Sprintf("error rate %.2f > %.2f", v.ErrorRate, s.cfg.MaxErrorRate))
+		}
+		if s.cfg.MaxBreachRate > 0 && v.BreachRate > s.cfg.MaxBreachRate {
+			v.Warn = append(v.Warn, fmt.Sprintf("breach rate %.2f > %.2f", v.BreachRate, s.cfg.MaxBreachRate))
+		}
+		if len(v.Warn) > 0 {
+			st.OK = false
+		}
+		st.Verbs = append(st.Verbs, v)
+	}
+	return st
+}
+
+// WriteText renders the status, one verb per line, after an ok/warn
+// headline — the /healthz body. The first line stays exactly "ok" when
+// every objective holds, the contract health checks grep for.
+func (st SLOStatus) WriteText(w io.Writer) error {
+	head := "ok"
+	if !st.OK {
+		head = "warn"
+	}
+	if _, err := fmt.Fprintln(w, head); err != nil {
+		return err
+	}
+	for _, v := range st.Verbs {
+		line := fmt.Sprintf("slo %s: n=%d p50=%g p90=%g p99=%g errors=%d breaches=%d",
+			v.Verb, v.Count, v.P50, v.P90, v.P99, v.Errors, v.Breaches)
+		if len(v.Warn) > 0 {
+			line += " WARN[" + strings.Join(v.Warn, "; ") + "]"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// sloFixture drives a labeled per-verb workload through a sampler:
+// compute runs fast then slow across two windows, update errors twice
+// in four statements.
+func sloFixture(t *testing.T, cfg SLOConfig) (*SLO, *Sampler) {
+	t.Helper()
+	reg := NewRegistry()
+	smp := NewSampler(reg.Snapshot, 4, 0)
+	h := func(verb string) *Histogram {
+		return reg.Histogram(LabeledName(MQueryTicks, verb), QueryTicksBounds())
+	}
+	for i := 0; i < 8; i++ {
+		h("compute").Observe(500)
+	}
+	smp.Tick(10)
+	for i := 0; i < 2; i++ {
+		h("compute").Observe(500_000)
+	}
+	for i := 0; i < 4; i++ {
+		h("update").Observe(50)
+	}
+	reg.Counter(LabeledName(MQueryVerbErrors, "update")).Add(2)
+	reg.Counter(LabeledName(MQueryBreaches, "compute")).Inc()
+	smp.Tick(20)
+	return NewSLO(smp, cfg), smp
+}
+
+func TestSLOAggregatesWindowedQuantiles(t *testing.T) {
+	slo, _ := sloFixture(t, SLOConfig{})
+	st := slo.Status()
+	if !st.OK {
+		t.Errorf("zero thresholds warned: %+v", st)
+	}
+	if st.Window != 20 {
+		t.Errorf("window = %d, want 20", st.Window)
+	}
+	if len(st.Verbs) != 2 || st.Verbs[0].Verb != "compute" || st.Verbs[1].Verb != "update" {
+		t.Fatalf("verbs = %+v", st.Verbs)
+	}
+	c := st.Verbs[0]
+	if c.Count != 10 {
+		t.Errorf("compute count = %d, want 10 across both samples", c.Count)
+	}
+	// 8 fast + 2 slow observations: the merged windowed histogram puts
+	// p50 in the fast buckets and p99 in the slow one. Averaging the two
+	// samples' own p99s (500-ish and 1e6-ish) could never land here.
+	if c.P50 > 1_000 {
+		t.Errorf("compute p50 = %g, want within the fast bucket", c.P50)
+	}
+	if c.P99 < 100_000 {
+		t.Errorf("compute p99 = %g, want in the slow tail", c.P99)
+	}
+	if c.Breaches != 1 || c.BreachRate != 0.1 {
+		t.Errorf("compute breaches = %d rate %g", c.Breaches, c.BreachRate)
+	}
+	u := st.Verbs[1]
+	if u.Errors != 2 || u.ErrorRate != 0.5 {
+		t.Errorf("update errors = %d rate %g", u.Errors, u.ErrorRate)
+	}
+}
+
+func TestSLOBurnWarnsOnHealthz(t *testing.T) {
+	slo, _ := sloFixture(t, SLOConfig{P99Ticks: 10_000, MaxErrorRate: 0.25, MaxBreachRate: 0.5})
+	st := slo.Status()
+	if st.OK {
+		t.Fatalf("burning objectives reported OK: %+v", st)
+	}
+	var b strings.Builder
+	if err := st.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "warn\n") {
+		t.Errorf("headline = %q, want warn", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "slo compute:") || !strings.Contains(out, "p99") {
+		t.Errorf("compute p99 warning missing:\n%s", out)
+	}
+	if !strings.Contains(out, "slo update:") || !strings.Contains(out, "error rate 0.50 > 0.25") {
+		t.Errorf("update error-rate warning missing:\n%s", out)
+	}
+	// The breach rate (0.1) is under its 0.5 threshold: no breach warning.
+	if strings.Contains(out, "breach rate") {
+		t.Errorf("unexpected breach warning:\n%s", out)
+	}
+}
+
+func TestSLOHealthyAndNilStayOK(t *testing.T) {
+	slo, _ := sloFixture(t, SLOConfig{P99Ticks: 10_000_000, MaxErrorRate: 0.9, MaxBreachRate: 0.9})
+	st := slo.Status()
+	if !st.OK {
+		t.Errorf("healthy thresholds warned: %+v", st)
+	}
+	var b strings.Builder
+	if err := st.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "ok\n") {
+		t.Errorf("healthy headline = %q", b.String())
+	}
+
+	var nilSLO *SLO
+	nst := nilSLO.Status()
+	if !nst.OK || len(nst.Verbs) != 0 {
+		t.Errorf("nil SLO status = %+v", nst)
+	}
+	b.Reset()
+	if err := nst.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "ok\n" {
+		t.Errorf("nil SLO body = %q, want exactly the liveness ok", b.String())
+	}
+}

@@ -7,8 +7,9 @@ import (
 	"sync"
 )
 
-// Attr is one key/value annotation on a span. Attribute order is
-// preserved, so renderings are deterministic.
+// Attr is one key/value annotation on a span. First-occurrence order is
+// preserved and repeated keys are last-write-wins, so renderings are
+// deterministic and never show duplicates.
 type Attr struct {
 	Key, Value string
 }
@@ -43,7 +44,10 @@ func (s *Span) Name() string {
 	return s.name
 }
 
-// SetAttr appends (or replaces) an attribute.
+// SetAttr sets an attribute: an existing key keeps its position but
+// takes the new value (last write wins), a new key appends. Layers that
+// update the same key per attempt — retry counts, health — therefore
+// render one attribute, not a duplicate per write.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
@@ -183,9 +187,11 @@ func (t TextSink) Emit(root *Span) { _ = WriteTree(t.W, root) }
 // race detector, but the stack discipline assumes queries are issued
 // one at a time per tracer (the executor model) — spans begun from
 // concurrently running queries on one tracer attach to whichever span
-// is innermost, which degrades attribution, never safety. Parallel
-// chunk workers inside one query charge the current span rather than
-// opening their own, so the engine's fan-out needs no per-worker spans.
+// is innermost, which degrades attribution, never safety. Goroutine-side
+// work inside one query (shard scatter workers, pool range workers)
+// gets its own child tracer via Adopt and is stitched back under the
+// query's span tree by Join, so fan-out is attributed without sharing
+// a span stack across goroutines.
 //
 // A nil Tracer hands out nil spans: tracing disabled.
 type Tracer struct {
@@ -199,6 +205,11 @@ type Tracer struct {
 	// resource ceiling. Installed per query by the executor, like the
 	// span stack it follows the one-query-at-a-time discipline.
 	budget *Budget
+	// adoptive marks a child tracer made by Adopt: completed roots are
+	// buffered in done (instead of being emitted) until Join splices
+	// them under adoptive on the parent tracer.
+	adoptive *Span
+	done     []*Span
 }
 
 // NewTracer creates a tracer retaining the 16 most recent root trees.
@@ -254,7 +265,8 @@ func (t *Tracer) BudgetErr() error {
 }
 
 // Begin opens a span as a child of the innermost open span (or as a new
-// root) and returns it. The caller must End it.
+// root) and returns it. The caller must End it. Repeated attribute keys
+// collapse last-write-wins, matching SetAttr's contract.
 func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
@@ -262,13 +274,101 @@ func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.seq++
-	s := &Span{t: t, name: name, attrs: attrs, start: t.seq}
+	s := &Span{t: t, name: name, attrs: dedupeAttrs(attrs), start: t.seq}
 	if n := len(t.stack); n > 0 {
 		s.parent = t.stack[n-1]
 		s.parent.children = append(s.parent.children, s)
 	}
 	t.stack = append(t.stack, s)
 	return s
+}
+
+// dedupeAttrs collapses repeated keys last-write-wins, keeping each
+// key's first-occurrence position. The common no-duplicate case returns
+// the slice unchanged.
+func dedupeAttrs(attrs []Attr) []Attr {
+	for i := 1; i < len(attrs); i++ {
+		for j := 0; j < i; j++ {
+			if attrs[j].Key == attrs[i].Key {
+				out := append([]Attr(nil), attrs[:i]...)
+				for _, a := range attrs[i:] {
+					dup := false
+					for k := range out {
+						if out[k].Key == a.Key {
+							out[k].Value = a.Value
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						out = append(out, a)
+					}
+				}
+				return out
+			}
+		}
+	}
+	return attrs
+}
+
+// Adopt returns a child tracer bound to parent, the span-stitching
+// handoff for goroutine-side work. The child has its own stack and
+// lock — workers Begin/Charge/End on it without contending with (or
+// racing against) the owning query's tracer — but shares the parent's
+// installed Budget, so worker ticks and pages are metered against the
+// query's ceiling live. Roots completed on the child are buffered, not
+// emitted; the coordinator calls Join after the goroutine finishes to
+// splice them under parent. Calling Adopt once per goroutine (or per
+// deterministic work unit) and Joining in a fixed order is what keeps
+// stitched trees bit-identical regardless of scheduling.
+//
+// A nil tracer or nil parent yields a nil child: tracing stays
+// disabled through the handoff.
+func (t *Tracer) Adopt(parent *Span) *Tracer {
+	if t == nil || parent == nil {
+		return nil
+	}
+	t.mu.Lock()
+	b := t.budget
+	t.mu.Unlock()
+	return &Tracer{budget: b, adoptive: parent}
+}
+
+// Join splices the child tracer's completed roots — in the order they
+// ended — under the adoptive parent span, re-owning the subtree so the
+// parent's Total and WriteTree account the stitched work. Only the
+// coordinator goroutine may call Join, after the adopted work has
+// finished; spans still open on the child are dropped, never spliced
+// half-built. Join on a non-adopted or nil tracer is a no-op.
+func (t *Tracer) Join() {
+	if t == nil || t.adoptive == nil {
+		return
+	}
+	t.mu.Lock()
+	roots := t.done
+	t.done = nil
+	t.mu.Unlock()
+	if len(roots) == 0 {
+		return
+	}
+	p := t.adoptive
+	pt := p.t
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	for _, r := range roots {
+		r.parent = p
+		p.children = append(p.children, r)
+		reown(r, pt)
+	}
+}
+
+// reown points every span in s's subtree at tracer t; called under
+// t.mu by Join.
+func reown(s *Span, t *Tracer) {
+	s.t = t
+	for _, c := range s.children {
+		reown(c, t)
+	}
 }
 
 // Charge adds n ticks to the innermost open span (span attribution is
@@ -305,6 +405,11 @@ func (t *Tracer) end(s *Span) {
 			}
 			break
 		}
+	}
+	if emit != nil && t.adoptive != nil {
+		// Adopted tracer: buffer the root for Join instead of emitting.
+		t.done = append(t.done, emit)
+		emit = nil
 	}
 	sink := t.sink
 	ring := t.ring

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -158,6 +159,112 @@ func TestRingSinkWraparound(t *testing.T) {
 	}
 	if rs := one.Roots(); len(rs) != 1 || rs[0].Self() != 103 {
 		t.Errorf("cap-1 ring kept wrong root")
+	}
+}
+
+// TestAdoptJoinStitchesDeterministically runs scatter-style workers on
+// adopted child tracers under arbitrary scheduling and checks the
+// coordinator's in-order Joins always produce the same stitched tree:
+// one child per worker in join order, every worker tick conserved in
+// the root total, and the shared budget metered live.
+func TestAdoptJoinStitchesDeterministically(t *testing.T) {
+	render := func() string {
+		tr := NewTracer()
+		budget := NewBudget(0, 0)
+		tr.SetBudget(budget)
+		root := tr.Begin("query")
+		scatter := tr.Begin("shard.scatter")
+		adopted := make([]*Tracer, 4)
+		for i := range adopted {
+			adopted[i] = tr.Adopt(scatter)
+		}
+		var wg sync.WaitGroup
+		for i := range adopted {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sp := adopted[i].Begin("shard" + string(rune('0'+i)))
+				sub := adopted[i].Begin("range")
+				sub.Charge(int64(i))
+				sub.End()
+				sp.Charge(10 * int64(i+1))
+				sp.End()
+			}(i)
+		}
+		wg.Wait()
+		for _, ad := range adopted {
+			ad.Join()
+		}
+		scatter.End()
+		root.End()
+		if got, want := root.Total(), int64(10+20+30+40+0+1+2+3); got != want {
+			t.Fatalf("root total = %d, want %d", got, want)
+		}
+		// Worker charges flowed through the shared budget as they happened.
+		if used, _ := budget.Used(); used != root.Total() {
+			t.Fatalf("budget used = %d, want %d", used, root.Total())
+		}
+		var b strings.Builder
+		if err := WriteTree(&b, root); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 20; i++ {
+		if got := render(); got != first {
+			t.Fatalf("stitched tree varies with scheduling:\n%s\nvs\n%s", got, first)
+		}
+	}
+	if !strings.Contains(first, "shard2") || !strings.Contains(first, "range") {
+		t.Errorf("stitched tree missing workers:\n%s", first)
+	}
+}
+
+// TestAdoptJoinEmptyAndNil pins the edges: joining with no completed
+// roots is a no-op, and nil handles stay inert.
+func TestAdoptJoinEmptyAndNil(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Begin("query")
+	ad := tr.Adopt(root)
+	ad.Join() // nothing completed yet
+	sp := ad.Begin("w")
+	sp.Charge(4)
+	sp.End()
+	ad.Join()
+	ad.Join() // drained: second join adds nothing
+	root.End()
+	if root.Total() != 4 || len(root.Children()) != 1 {
+		t.Errorf("root total=%d children=%d", root.Total(), len(root.Children()))
+	}
+	if tr.Adopt(nil) != nil {
+		t.Error("Adopt(nil parent) != nil")
+	}
+	var nilT *Tracer
+	if nilT.Adopt(root) != nil {
+		t.Error("nil.Adopt != nil")
+	}
+	nilT.Join()
+}
+
+// TestBeginDedupesAttrs pins the last-write-wins contract for repeated
+// attribute keys passed to Begin, keeping the first occurrence's
+// position.
+func TestBeginDedupesAttrs(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("q", A("engine", "serial"), A("rows", "5"), A("engine", "parallel"))
+	sp.End()
+	attrs := sp.Attrs()
+	if len(attrs) != 2 {
+		t.Fatalf("attrs = %v, want 2 deduped", attrs)
+	}
+	if attrs[0] != (Attr{Key: "engine", Value: "parallel"}) || attrs[1] != (Attr{Key: "rows", Value: "5"}) {
+		t.Errorf("deduped attrs = %v", attrs)
+	}
+	// SetAttr replaces in place, same contract.
+	sp.SetAttr("rows", "9")
+	if got := sp.Attrs(); len(got) != 2 || got[1].Value != "9" {
+		t.Errorf("after SetAttr: %v", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 
 	"statdb/internal/core"
 	"statdb/internal/obs"
+	"statdb/internal/view"
 )
 
 // Executor runs parsed commands against a DBMS on behalf of one analyst,
@@ -17,9 +19,15 @@ type Executor struct {
 	DBMS    *core.DBMS
 	Analyst *core.Analyst
 	Out     io.Writer
-	// Cached observability handles (query.* counters, system tracer).
+	// Cached observability handles (query.* counters, system tracer,
+	// continuous-profile ring and its counters; reg registers the
+	// per-verb SLO families lazily as verbs run).
 	cStatements *obs.Counter
 	cErrors     *obs.Counter
+	cProfiled   *obs.Counter
+	cSlow       *obs.Counter
+	reg         *obs.Registry
+	profiles    *obs.ProfileRing
 	tracer      *obs.Tracer
 	// events, when set, receives one structured record per profiled
 	// statement; clock is the executor's virtual time — cumulative root
@@ -37,6 +45,10 @@ func NewExecutor(d *core.DBMS, analyst string, out io.Writer) *Executor {
 		Out:         out,
 		cStatements: reg.Counter(obs.MQueryStatements),
 		cErrors:     reg.Counter(obs.MQueryErrors),
+		cProfiled:   reg.Counter(obs.MProfileQueries),
+		cSlow:       reg.Counter(obs.MProfileSlow),
+		reg:         reg,
+		profiles:    d.Profiles(),
 		tracer:      d.Tracer(),
 	}
 }
@@ -92,6 +104,7 @@ const helpText = `commands:
   shards V                                    per-shard health for V's sharded backing
   stats                                       dump system metrics (counters, gauges, histograms)
   explain CMD                                 run CMD and print its cost-charged span tree
+  profile CMD                                 run CMD and print its folded profile (top sites by self ticks)
   help
 `
 
@@ -115,6 +128,12 @@ func (e *Executor) dispatch(cmd Command, text string) error {
 			return err
 		}
 		return obs.WriteTree(e.Out, root)
+	case ProfileCmd:
+		root, err := e.runProfiled(c.Inner, text)
+		if err != nil {
+			return err
+		}
+		return obs.FoldSpan(root).WriteTop(e.Out, 0)
 	}
 	_, err := e.runProfiled(cmd, text)
 	return err
@@ -142,12 +161,96 @@ func (e *Executor) runProfiled(cmd Command, text string) (*obs.Span, error) {
 	if err == nil {
 		err = budget.Err()
 	}
-	e.logQuery(text, cmd, root, budget, before, err)
+	prof := e.observeVerb(cmd, root, err)
+	e.logQuery(text, cmd, root, prof, budget, before, err)
 	return root, err
 }
 
-// logQuery emits one structured record for a finished statement.
-func (e *Executor) logQuery(text string, cmd Command, root *obs.Span, budget *obs.Budget, before obs.Snapshot, err error) {
+// observeVerb folds the finished statement's span tree into the
+// continuous-profile ring under its verb and feeds the per-verb SLO
+// families: the query.ticks.<verb> histogram (total cost-model ticks),
+// and error/budget-breach counters. These labeled instruments register
+// lazily, so only verbs that actually ran appear in exports.
+func (e *Executor) observeVerb(cmd Command, root *obs.Span, err error) *obs.Profile {
+	prof := obs.FoldSpan(root)
+	verb := verbOf(cmd)
+	e.profiles.Add(verb, prof)
+	e.cProfiled.Inc()
+	e.reg.Histogram(obs.LabeledName(obs.MQueryTicks, verb), obs.QueryTicksBounds()).Observe(prof.Ticks)
+	if err != nil {
+		e.reg.Counter(obs.LabeledName(obs.MQueryVerbErrors, verb)).Inc()
+		var be *obs.BudgetError
+		if errors.As(err, &be) {
+			e.reg.Counter(obs.LabeledName(obs.MQueryBreaches, verb)).Inc()
+		}
+	}
+	return prof
+}
+
+// verbOf names the statement's verb for per-verb profiles and SLOs —
+// the keyword that would have invoked it (explain/profile report as
+// their wrapped verb, since dispatch unwraps before profiling).
+func verbOf(cmd Command) string {
+	switch cmd.(type) {
+	case Files:
+		return "files"
+	case Views:
+		return "views"
+	case Help:
+		return "help"
+	case Materialize:
+		return "materialize"
+	case Compute:
+		return "compute"
+	case SummaryDump:
+		return "summary"
+	case Update:
+		return "update"
+	case Undo:
+		return "undo"
+	case HistoryCmd:
+		return "history"
+	case Publish:
+		return "publish"
+	case Show:
+		return "show"
+	case ShardsCmd:
+		return "shards"
+	case HistogramCmd:
+		return "histogram"
+	case CrosstabCmd:
+		return "crosstab"
+	case CorrelateCmd:
+		return "correlate"
+	case RegressCmd:
+		return "regress"
+	case SampleCmd:
+		return "sample"
+	case RollbackCmd:
+		return "rollback"
+	case ImportCmd:
+		return "import"
+	case ExportCmd:
+		return "export"
+	case DescribeCmd:
+		return "describe"
+	case FrequenciesCmd:
+		return "frequencies"
+	case TTestCmd:
+		return "ttest"
+	case SaveCmd:
+		return "save"
+	case AdviceCmd:
+		return "advice"
+	}
+	return "other"
+}
+
+// logQuery emits one structured record for a finished statement,
+// attaching the rendered profile and explain tree when the statement
+// was slow (met the log's slow-ticks threshold) or breached its budget
+// — the slow-query capture.
+func (e *Executor) logQuery(text string, cmd Command, root *obs.Span, prof *obs.Profile, budget *obs.Budget, before obs.Snapshot, err error) {
 	total := root.Total()
 	e.clock += total
 	if e.events == nil {
@@ -186,6 +289,15 @@ func (e *Executor) logQuery(text string, cmd Command, root *obs.Span, budget *ob
 		rec.Budget = be.Error()
 	} else if err != nil {
 		rec.Err = err.Error()
+	}
+	slow := e.events.SlowTicks() > 0 && total >= e.events.SlowTicks()
+	if slow || rec.Budget != "" {
+		var pb, xb bytes.Buffer
+		_ = prof.WriteTop(&pb, 10)
+		_ = obs.WriteTree(&xb, root)
+		rec.Profile = pb.String()
+		rec.Explain = xb.String()
+		e.cSlow.Inc()
 	}
 	e.events.Log(obs.Event{Tick: e.clock, Kind: "query", Query: rec})
 }
@@ -243,6 +355,21 @@ func (e *Executor) exec(cmd Command) error {
 		v, err := e.Analyst.View(c.View)
 		if err != nil {
 			return err
+		}
+		// A sharded backing answers scalar aggregates by scatter-gather
+		// (bit-identical to the unsharded engine when healthy, degraded
+		// with provenance when not); fns the shards cannot fold — median,
+		// quartiles, mode — fall back to the summary path.
+		if st := v.ShardStore(); st != nil && view.ShardedFn(c.Fn) {
+			val, rep, err := v.ShardedScalar(c.Fn, c.Attr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(e.Out, "%s(%s) = %g\n", c.Fn, c.Attr, val)
+			if rep.Degraded() {
+				fmt.Fprintf(e.Out, "degraded answer: %s\n", rep)
+			}
+			return nil
 		}
 		val, err := v.Compute(c.Fn, c.Attr)
 		if err != nil {

@@ -76,6 +76,12 @@ type StatsCmd struct{}
 // profile: the span tree with each node's cost-model charge.
 type ExplainCmd struct{ Inner Command }
 
+// ProfileCmd runs the wrapped statement and prints its folded profile —
+// per-site calls/self/total/pages/rows ranked by self ticks — the
+// profiling sibling of explain (tree-shaped account vs. site-ranked
+// account of the same span tree).
+type ProfileCmd struct{ Inner Command }
+
 func (Files) cmd()       {}
 func (Views) cmd()       {}
 func (Help) cmd()        {}
@@ -90,6 +96,7 @@ func (Show) cmd()        {}
 func (ShardsCmd) cmd()   {}
 func (StatsCmd) cmd()    {}
 func (ExplainCmd) cmd()  {}
+func (ProfileCmd) cmd()  {}
 
 type parser struct {
 	toks []token
@@ -259,10 +266,15 @@ func (p *parser) parseCommand() (Command, error) {
 		var inner Command
 		inner, err = p.parseCommand()
 		if err == nil {
-			if _, nested := inner.(ExplainCmd); nested {
-				return nil, fmt.Errorf("query: explain cannot wrap another explain")
+			switch inner.(type) {
+			case ExplainCmd, ProfileCmd:
+				return nil, fmt.Errorf("query: %s cannot wrap another explain/profile", kw)
 			}
-			cmd = ExplainCmd{Inner: inner}
+			if kw == "explain" {
+				cmd = ExplainCmd{Inner: inner}
+			} else {
+				cmd = ProfileCmd{Inner: inner}
+			}
 		}
 	}
 	if err != nil {

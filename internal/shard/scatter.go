@@ -69,17 +69,26 @@ type outcome struct {
 // the pool's own transient retry underneath, one shard-level retry on
 // top, and the virtual-tick budget as a deterministic timeout — an op
 // that ran past the budget is discarded even if it succeeded, because
-// the gather will not wait for it.
-func (s *Store) runShardOp(sh *shardState, op func() error) outcome {
+// the gather will not wait for it. The whole protocol (both attempts)
+// runs inside one span on tr — the shard's adopted child tracer — so
+// the shard's device ticks are charged where the work happened and
+// metered against the owning query's budget live; the span carries the
+// shard's ticks/pages/retries attrs. The returned span is the handle
+// the coordinator decorates post-join (health, err).
+func (s *Store) runShardOp(tr *obs.Tracer, sh *shardState, op func(h exec.SpanHook) error) (outcome, *obs.Span) {
 	var o outcome
-	start := sh.dev.Stats().Ticks
-	err := op()
-	o.ticks = sh.dev.Stats().Ticks - start
+	sp := tr.Begin(sh.label)
+	// Ops that fan ranges across the shard's own pool stitch per-range
+	// spans under the shard span through this hook.
+	h := exec.SpanHook{Tracer: tr, Parent: sp, Name: "range"}
+	start := sh.dev.Stats()
+	err := op(h)
+	o.ticks = sh.dev.Stats().Ticks - start.Ticks
 	over := s.budget > 0 && o.ticks > s.budget
 	if err != nil && !over {
 		o.retried = true
-		err = op()
-		o.ticks = sh.dev.Stats().Ticks - start
+		err = op(h)
+		o.ticks = sh.dev.Stats().Ticks - start.Ticks
 		over = s.budget > 0 && o.ticks > s.budget
 	}
 	if over {
@@ -89,34 +98,47 @@ func (s *Store) runShardOp(sh *shardState, op func() error) outcome {
 		}
 	}
 	o.err = err
-	return o
+	sp.Charge(o.ticks)
+	sp.SetAttr("ticks", fmt.Sprintf("%d", o.ticks))
+	sp.SetAttr("pages", fmt.Sprintf("%d", sh.dev.Stats().Reads-start.Reads))
+	if o.retried {
+		sp.SetAttr("retries", "1")
+	}
+	sp.End()
+	return o, sp
 }
 
 // scatter fans op out across all shards (one goroutine per shard — this
 // package is on the statdb-vet goroutine allowlist), skipping Down
 // shards without I/O, then applies health transitions and metric/trace
-// bookkeeping in shard order. The returned outcomes are indexed by
-// shard.
-func (s *Store) scatter(name, col string, op func(sh *shardState) error) ([]outcome, *Report) {
+// bookkeeping in shard order. Each worker runs under its own adopted
+// child tracer; the gather joins them in ascending shard order, so the
+// stitched tree under "shard.scatter" — one child per shard, carrying
+// its ticks/pages/retries/health — is identical regardless of worker
+// scheduling. The returned outcomes are indexed by shard.
+func (s *Store) scatter(name, col string, op func(sh *shardState, h exec.SpanHook) error) ([]outcome, *Report) {
 	s.met.scatters.Inc()
 	outs := make([]outcome, len(s.shards))
+	span := s.tracer.Begin("shard.scatter",
+		obs.Attr{Key: "view", Value: s.name}, obs.Attr{Key: "op", Value: name + " " + col})
+	adopted := make([]*obs.Tracer, len(s.shards))
+	spans := make([]*obs.Span, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
 		if s.Health(i) == Down {
 			outs[i] = outcome{skipped: true, err: fmt.Errorf("shard: %s: %w", sh.label, ErrShardDown)}
 			continue
 		}
+		adopted[i] = s.tracer.Adopt(span)
 		wg.Add(1)
 		go func(i int, sh *shardState) {
 			defer wg.Done()
-			outs[i] = s.runShardOp(sh, func() error { return op(sh) })
+			outs[i], spans[i] = s.runShardOp(adopted[i], sh, func(h exec.SpanHook) error { return op(sh, h) })
 		}(i, sh)
 	}
 	wg.Wait()
 
 	rep := &Report{Shards: len(s.shards), StaleGens: map[int]uint64{}}
-	span := s.tracer.Begin("shard.scatter",
-		obs.Attr{Key: "view", Value: s.name}, obs.Attr{Key: "op", Value: name + " " + col})
 	for i, sh := range s.shards {
 		o := outs[i]
 		if !o.skipped {
@@ -138,13 +160,24 @@ func (s *Store) scatter(name, col string, op func(sh *shardState) error) ([]outc
 		if o.ticks > rep.Ticks {
 			rep.Ticks = o.ticks
 		}
-		child := s.tracer.Begin(sh.label)
-		child.Charge(o.ticks)
+		// Stitch the shard's spans under the scatter span (ascending
+		// shard order — the deterministic join), then decorate with the
+		// post-op state only the coordinator knows.
+		child := spans[i]
+		adopted[i].Join()
+		if o.skipped {
+			// A Down shard never spawned a worker; record the fast-fail
+			// as a zero-tick child directly on the open scatter span.
+			// (Attrs may still be set after End — only the stack slot
+			// closes.)
+			child = s.tracer.Begin(sh.label)
+			child.SetAttr("ticks", "0")
+			child.End()
+		}
 		child.SetAttr("health", s.Health(i).String())
 		if o.err != nil {
 			child.SetAttr("err", o.err.Error())
 		}
-		child.End()
 	}
 	span.End()
 	return outs, rep
@@ -190,8 +223,8 @@ func (s *Store) Moments(col string) (exec.Moments, Report, error) {
 	numChunks := len(exec.Chunks(s.rows, s.chunk))
 	parts := make([]exec.Moments, numChunks)
 	have := make([]bool, numChunks)
-	outs, rep := s.scatter("moments", col, func(sh *shardState) error {
-		return sh.foldColumn(col, func(global int, xs []float64, valid []bool) {
+	outs, rep := s.scatter("moments", col, func(sh *shardState, h exec.SpanHook) error {
+		return sh.foldColumn(h, col, func(global int, xs []float64, valid []bool) {
 			parts[global] = exec.FoldMoments(xs, valid)
 			have[global] = true
 		})
@@ -248,8 +281,8 @@ func (s *Store) Moments(col string) (exec.Moments, Report, error) {
 func (s *Store) Freq(col string) (exec.Freq, Report, error) {
 	numChunks := len(exec.Chunks(s.rows, s.chunk))
 	parts := make([]exec.Freq, numChunks)
-	outs, rep := s.scatter("freq", col, func(sh *shardState) error {
-		return sh.foldColumn(col, func(global int, xs []float64, valid []bool) {
+	outs, rep := s.scatter("freq", col, func(sh *shardState, h exec.SpanHook) error {
+		return sh.foldColumn(h, col, func(global int, xs []float64, valid []bool) {
 			parts[global] = exec.FoldFreq(xs, valid)
 		})
 	})
@@ -287,9 +320,10 @@ func (s *Store) Freq(col string) (exec.Freq, Report, error) {
 }
 
 // foldColumn reads the shard's image of col and hands each owned global
-// chunk's slice to fn, fanning chunks across the shard's own pool. fn
-// must only write state owned by the chunk (the scatter contract).
-func (sh *shardState) foldColumn(col string, fn func(global int, xs []float64, valid []bool)) error {
+// chunk's slice to fn, fanning chunks across the shard's own pool with
+// per-range spans stitched under the shard's span via h. fn must only
+// write state owned by the chunk (the scatter contract).
+func (sh *shardState) foldColumn(h exec.SpanHook, col string, fn func(global int, xs []float64, valid []bool)) error {
 	xs, valid, err := sh.file.NumericColumn(col)
 	if err != nil {
 		return err
@@ -298,7 +332,8 @@ func (sh *shardState) foldColumn(col string, fn func(global int, xs []float64, v
 	for i, ref := range sh.chunks {
 		ranges[i] = exec.Range{Lo: ref.localLo, Hi: ref.localLo + ref.localLen}
 	}
-	return sh.epool.RunRanges(ranges, func(c int, r exec.Range) error {
+	return sh.epool.RunRangesSpanned(ranges, h, func(c int, r exec.Range, sp *obs.Span) error {
+		sp.SetAttr("chunk", fmt.Sprintf("%d", sh.chunks[c].global))
 		fn(sh.chunks[c].global, xs[r.Lo:r.Hi], valid[r.Lo:r.Hi])
 		return nil
 	})
@@ -311,7 +346,7 @@ func (sh *shardState) foldColumn(col string, fn func(global int, xs []float64, v
 // dataset.
 func (s *Store) Materialize() (*dataset.Dataset, Report, error) {
 	subs := make([]*dataset.Dataset, len(s.shards))
-	outs, rep := s.scatter("materialize", "*", func(sh *shardState) error {
+	outs, rep := s.scatter("materialize", "*", func(sh *shardState, _ exec.SpanHook) error {
 		sub, err := sh.file.Materialize()
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -274,6 +275,30 @@ func TestConcurrentScatterGatherUnderFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The continuous profiler rides the same storm: every worker folds
+	// the completed scatter trees into one shared ring while a reader
+	// merges and renders — the /profilez path against concurrent
+	// degraded queries (this test runs under `make race`).
+	tr := obs.NewTracer()
+	st.SetTracer(tr)
+	ring := obs.NewProfileRing(16)
+	profDone := make(chan struct{})
+	profReader := make(chan struct{})
+	go func() {
+		defer close(profReader)
+		for {
+			select {
+			case <-profDone:
+				return
+			default:
+			}
+			for _, v := range ring.Verbs() {
+				_ = ring.Merged(v)
+			}
+			var b strings.Builder
+			_ = ring.WriteText(&b, 5)
+		}
+	}()
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
 	for g := 0; g < 8; g++ {
@@ -285,6 +310,9 @@ func TestConcurrentScatterGatherUnderFaults(t *testing.T) {
 				if err != nil {
 					errs <- fmt.Errorf("worker %d moments: %v", g, err)
 					return
+				}
+				for _, root := range tr.Recent() {
+					ring.Add("compute", obs.FoldSpan(root))
 				}
 				// Transient faults recover inside the pool; a degraded
 				// answer (stale fallback) is also legitimate. Either way
@@ -301,9 +329,148 @@ func TestConcurrentScatterGatherUnderFaults(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+	close(profDone)
+	<-profReader
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+	// Concurrent queries interleave on one tracer stack, so in-storm
+	// roots may surface late or merge into one tree (attribution
+	// degrades, never safety). One serial query after the storm always
+	// emits a root, so the final fold is deterministic.
+	if _, _, err := st.Moments("x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range tr.Recent() {
+		ring.Add("compute", obs.FoldSpan(root))
+	}
+	if merged := ring.Merged("compute"); merged.Queries == 0 {
+		t.Error("hammer folded no profiles into the ring")
+	}
+}
+
+// TestScatterStitchesShardSpans pins the cross-shard span stitching: a
+// scatter-gather query yields one "shard.scatter" root whose children
+// are the per-shard worker spans in shard order, each charging exactly
+// its device ticks — so the children sum to the root total — and two
+// identically built stores render bit-identical trees regardless of
+// worker scheduling.
+func TestScatterStitchesShardSpans(t *testing.T) {
+	const rows, chunk = 6000, 512
+	ds := testDataset(t, rows)
+	run := func() (*obs.Span, string) {
+		st, err := New("t", ds, Config{Shards: 4, Chunk: chunk, PoolPages: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.NewTracer()
+		st.SetTracer(tr)
+		if _, _, err := st.Moments("x"); err != nil {
+			t.Fatal(err)
+		}
+		roots := tr.Recent()
+		if len(roots) != 1 {
+			t.Fatalf("recent roots = %d, want 1", len(roots))
+		}
+		var b strings.Builder
+		if err := obs.WriteTree(&b, roots[0]); err != nil {
+			t.Fatal(err)
+		}
+		return roots[0], b.String()
+	}
+	root, tree := run()
+	if root.Name() != "shard.scatter" {
+		t.Fatalf("root = %s, want shard.scatter", root.Name())
+	}
+	kids := root.Children()
+	if len(kids) != 4 {
+		t.Fatalf("root has %d children, want one per shard:\n%s", len(kids), tree)
+	}
+	var sum int64
+	for i, k := range kids {
+		if want := fmt.Sprintf("shard%d", i); k.Name() != want {
+			t.Errorf("child %d = %s, want %s (join order = shard order)", i, k.Name(), want)
+		}
+		if k.Total() <= 0 {
+			t.Errorf("shard %d charged %d ticks, want > 0 (cold pool)", i, k.Total())
+		}
+		sum += k.Total()
+		attrs := map[string]string{}
+		for _, a := range k.Attrs() {
+			attrs[a.Key] = a.Value
+		}
+		if attrs["health"] != "healthy" {
+			t.Errorf("shard %d health attr = %q", i, attrs["health"])
+		}
+		if attrs["ticks"] == "" || attrs["pages"] == "" {
+			t.Errorf("shard %d missing ticks/pages attrs: %v", i, attrs)
+		}
+		if len(k.Children()) == 0 {
+			t.Errorf("shard %d has no per-range spans", i)
+		}
+	}
+	// The acceptance invariant: per-shard children account for the whole
+	// query exactly — scatter itself charges nothing.
+	if sum != root.Total() {
+		t.Errorf("shard children sum %d != root total %d:\n%s", sum, root.Total(), tree)
+	}
+	if _, again := run(); again != tree {
+		t.Errorf("stitched tree varies across identical runs:\n%s\nvs\n%s", tree, again)
+	}
+}
+
+// TestScatterSpansUnderFaults checks the stitched tree's fault
+// vocabulary: a faulted shard's span carries its retry and error
+// attrs, and once Down the shard appears as a zero-tick fast-fail
+// child recorded by the coordinator.
+func TestScatterSpansUnderFaults(t *testing.T) {
+	const rows, chunk = 6000, 512
+	ds := testDataset(t, rows)
+	st, fd := faultedStore(t, ds, storage.FaultConfig{Seed: 17, ReadTransientRate: 1},
+		Config{Chunk: chunk, PoolPages: 4, DownThreshold: 1})
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	st.SetTracer(tr)
+	fd.SetDisabled(false)
+
+	attrsOf := func(root *obs.Span, i int) map[string]string {
+		m := map[string]string{}
+		for _, a := range root.Children()[i].Attrs() {
+			m[a.Key] = a.Value
+		}
+		return m
+	}
+	if _, rep, err := st.Moments("x"); err != nil || !rep.Degraded() {
+		t.Fatalf("first faulted query: %v (%s)", err, rep)
+	}
+	roots := tr.Recent()
+	first := roots[len(roots)-1]
+	a1 := attrsOf(first, 1)
+	if a1["retries"] != "1" || a1["err"] == "" {
+		t.Errorf("faulted shard attrs = %v, want retries=1 and err", a1)
+	}
+
+	if _, rep, err := st.Moments("x"); err != nil || !rep.Degraded() {
+		t.Fatalf("down-shard query: %v (%s)", err, rep)
+	}
+	roots = tr.Recent()
+	second := roots[len(roots)-1]
+	if len(second.Children()) != 4 {
+		t.Fatalf("down-shard tree has %d children, want the fast-fail recorded", len(second.Children()))
+	}
+	a2 := attrsOf(second, 1)
+	if a2["ticks"] != "0" || a2["health"] != "down" || a2["err"] == "" {
+		t.Errorf("down shard attrs = %v, want zero-tick down fast-fail", a2)
+	}
+	var sum int64
+	for _, k := range second.Children() {
+		sum += k.Total()
+	}
+	if sum != second.Total() {
+		t.Errorf("degraded children sum %d != root total %d", sum, second.Total())
 	}
 }
 

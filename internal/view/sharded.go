@@ -11,6 +11,7 @@ package view
 import (
 	"fmt"
 
+	"statdb/internal/obs"
 	"statdb/internal/shard"
 )
 
@@ -44,6 +45,8 @@ func (v *View) ShardedScalar(fn, attr string) (float64, shard.Report, error) {
 	if st == nil {
 		return 0, shard.Report{}, fmt.Errorf("view %s: no sharded backing attached", v.name)
 	}
+	sp := v.tracer.Begin("view.sharded_scalar", obs.A("fn", fn), obs.A("attr", attr))
+	defer sp.End()
 	v.countScan(attr)
 	switch fn {
 	case "unique":
@@ -82,4 +85,15 @@ func (v *View) ShardedScalar(fn, attr string) (float64, shard.Report, error) {
 		return hi - lo, rep, err
 	}
 	return 0, rep, fmt.Errorf("view %s: sharded scalar %q not supported", v.name, fn)
+}
+
+// ShardedFn reports whether ShardedScalar supports fn — the query layer
+// routes these to the sharded backing when one is attached and falls
+// back to the summary path (median, quartiles, mode) otherwise.
+func ShardedFn(fn string) bool {
+	switch fn {
+	case "count", "total", "mean", "variance", "sd", "min", "max", "range", "unique":
+		return true
+	}
+	return false
 }
