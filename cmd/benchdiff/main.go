@@ -1,0 +1,244 @@
+// Command benchdiff guards the committed perf trajectory: for every
+// BENCH_<ID>.json snapshot it re-runs experiment <ID> fresh (in
+// process, through the same internal/bench registry cmd/experiments
+// uses) and diffs the new table against the committed one.
+//
+// The diff distinguishes what can be held exactly from what cannot.
+// Structure — ID, title, header, row count, row labels — must match
+// exactly: a changed shape means the committed snapshot is stale.
+// Deterministic numeric cells (virtual ticks, row counts, tick-derived
+// speedups) must agree within -tol. Noisy cells — wall-clock ns/op,
+// throughput, latency percentiles, scheduling-dependent shed counts —
+// are checked structurally only (numeric stays numeric, text matches),
+// because their values differ across machines by design. A "CLAIM
+// FAILED" marker in either the fresh or the committed finding fails the
+// run regardless; a "CLAIM NOISY" marker (an experiment's own
+// annotation that a wall-clock claim missed on this machine) is
+// printed as a warning but never fails the run.
+//
+// Usage:
+//
+//	benchdiff [-dir DIR] [-tol FRAC] [ID...]
+//
+// With no IDs every BENCH_*.json under -dir is checked. Exits nonzero
+// on any mismatch, naming each offending cell.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"statdb/internal/bench"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", ".", "directory holding the committed BENCH_*.json snapshots")
+	tol := fs.Float64("tol", 0.01, "relative tolerance for deterministic numeric cells")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		files, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+		if err != nil {
+			fmt.Fprintln(errw, "benchdiff:", err)
+			return 1
+		}
+		for _, f := range files {
+			id := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(f), "BENCH_"), ".json")
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	}
+	if len(ids) == 0 {
+		fmt.Fprintf(errw, "benchdiff: no BENCH_*.json under %s\n", *dir)
+		return 1
+	}
+
+	failed := 0
+	for _, id := range ids {
+		committed, err := readTable(filepath.Join(*dir, "BENCH_"+id+".json"))
+		if err != nil {
+			fmt.Fprintln(errw, "benchdiff:", err)
+			failed++
+			continue
+		}
+		fresh, err := runExperiment(id)
+		if err != nil {
+			fmt.Fprintln(errw, "benchdiff:", err)
+			failed++
+			continue
+		}
+		problems := diffTables(committed, fresh, *tol)
+		if len(problems) == 0 {
+			if strings.Contains(fresh.Finding, "CLAIM NOISY") {
+				fmt.Fprintf(out, "benchdiff: %s warning (non-gating): %s\n", id, fresh.Finding)
+			}
+			strict, noisy := countCells(committed)
+			fmt.Fprintf(out, "benchdiff: %s ok (%d cells held to %.0f%%, %d noisy cells structural)\n",
+				id, strict, *tol*100, noisy)
+			continue
+		}
+		failed++
+		for _, p := range problems {
+			fmt.Fprintf(errw, "benchdiff: %s: %s\n", id, p)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(errw, "benchdiff: %d of %d snapshots diverged\n", failed, len(ids))
+		return 1
+	}
+	return 0
+}
+
+func readTable(path string) (*bench.Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t bench.Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &t, nil
+}
+
+func runExperiment(id string) (*bench.Table, error) {
+	for _, ex := range bench.All() {
+		if strings.EqualFold(ex.ID, id) {
+			return ex.Run()
+		}
+	}
+	return nil, fmt.Errorf("no experiment %q in the registry (stale snapshot?)", id)
+}
+
+// noisyColumn reports whether a header names a measurement that varies
+// across machines or schedules: wall clock, rates, latency
+// percentiles, and shed counts (a scheduling outcome, not a
+// deterministic one).
+func noisyColumn(header string) bool {
+	h := strings.ToLower(header)
+	for _, frag := range []string{"ns/op", "overhead", "wall", "throughput", "_us", "elapsed", "shed"} {
+		if strings.Contains(h, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func numeric(cell string) (float64, bool) {
+	s := strings.TrimSuffix(strings.TrimSpace(cell), "x")
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// diffTables returns every way fresh diverges from committed.
+func diffTables(committed, fresh *bench.Table, tol float64) []string {
+	var problems []string
+	if strings.Contains(fresh.Finding, "CLAIM FAILED") {
+		problems = append(problems, "fresh run reports: "+fresh.Finding)
+	}
+	if strings.Contains(committed.Finding, "CLAIM FAILED") {
+		problems = append(problems, "committed snapshot reports: "+committed.Finding)
+	}
+	if fresh.ID != committed.ID || fresh.Title != committed.Title {
+		problems = append(problems, fmt.Sprintf("identity changed: %s/%q vs committed %s/%q",
+			fresh.ID, fresh.Title, committed.ID, committed.Title))
+	}
+	if strings.Join(fresh.Header, "|") != strings.Join(committed.Header, "|") {
+		problems = append(problems, fmt.Sprintf("header changed: %v vs committed %v", fresh.Header, committed.Header))
+		return problems // cell comparison is meaningless across headers
+	}
+	if len(fresh.Rows) != len(committed.Rows) {
+		problems = append(problems, fmt.Sprintf("row count changed: %d vs committed %d", len(fresh.Rows), len(committed.Rows)))
+		return problems
+	}
+	for r := range committed.Rows {
+		if len(fresh.Rows[r]) != len(committed.Rows[r]) {
+			problems = append(problems, fmt.Sprintf("row %d width changed", r))
+			continue
+		}
+		for c := range committed.Rows[r] {
+			problems = append(problems, diffCell(committed, fresh, r, c, tol)...)
+		}
+	}
+	return problems
+}
+
+func diffCell(committed, fresh *bench.Table, r, c int, tol float64) []string {
+	header := committed.Header[c]
+	want, haveWant := numeric(committed.Rows[r][c])
+	got, haveGot := numeric(fresh.Rows[r][c])
+	loc := fmt.Sprintf("row %d %q", r, header)
+	if noisyColumn(header) {
+		// Structural agreement only: a number stayed a number, a marker
+		// ("baseline", "n/a", "-") stayed itself.
+		switch {
+		case haveWant != haveGot:
+			return []string{fmt.Sprintf("%s: %q vs committed %q (numeric/text shape changed)",
+				loc, fresh.Rows[r][c], committed.Rows[r][c])}
+		case !haveWant && fresh.Rows[r][c] != committed.Rows[r][c]:
+			return []string{fmt.Sprintf("%s: %q vs committed %q", loc, fresh.Rows[r][c], committed.Rows[r][c])}
+		}
+		return nil
+	}
+	switch {
+	case haveWant != haveGot:
+		return []string{fmt.Sprintf("%s: %q vs committed %q (numeric/text shape changed)",
+			loc, fresh.Rows[r][c], committed.Rows[r][c])}
+	case !haveWant:
+		if fresh.Rows[r][c] != committed.Rows[r][c] {
+			return []string{fmt.Sprintf("%s: %q vs committed %q", loc, fresh.Rows[r][c], committed.Rows[r][c])}
+		}
+	default:
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		limit := tol * abs(want)
+		if abs(want) == 0 {
+			limit = 0 // a committed zero must stay zero
+		}
+		if diff > limit {
+			return []string{fmt.Sprintf("%s: %g vs committed %g (beyond %.0f%% tolerance)",
+				loc, got, want, tol*100)}
+		}
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func countCells(t *bench.Table) (strict, noisy int) {
+	for _, row := range t.Rows {
+		for c := range row {
+			if c < len(t.Header) && noisyColumn(t.Header[c]) {
+				noisy++
+			} else {
+				strict++
+			}
+		}
+	}
+	return strict, noisy
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"statdb/internal/bench"
+)
+
+func table() *bench.Table {
+	return &bench.Table{
+		ID:     "EX",
+		Title:  "example",
+		Header: []string{"config", "ticks", "ns/op", "shed", "answers"},
+		Rows: [][]string{
+			{"base", "1024", "55123", "0", "yes"},
+			{"wide", "2048", "83999", "12", "yes"},
+		},
+		Finding: "all good",
+	}
+}
+
+func TestDiffTablesClean(t *testing.T) {
+	committed, fresh := table(), table()
+	// Noisy columns may move arbitrarily without a finding.
+	fresh.Rows[0][2] = "99999999"
+	fresh.Rows[1][3] = "3"
+	// A NOISY marker is an experiment self-reporting a wall-clock miss
+	// on this machine; it warns but must not diverge the snapshot.
+	fresh.Finding = "all good [CLAIM NOISY: wall 4.0x < 10x]"
+	if problems := diffTables(committed, fresh, 0.01); len(problems) != 0 {
+		t.Errorf("clean diff reported: %v", problems)
+	}
+}
+
+func TestDiffTablesCatches(t *testing.T) {
+	for name, tc := range map[string]struct {
+		mut  func(fresh *bench.Table)
+		want string
+	}{
+		"tick drift":      {func(f *bench.Table) { f.Rows[0][1] = "1100" }, "tolerance"},
+		"text change":     {func(f *bench.Table) { f.Rows[0][4] = "NO" }, `"NO"`},
+		"numeric to text": {func(f *bench.Table) { f.Rows[1][1] = "n/a" }, "shape changed"},
+		"noisy shape":     {func(f *bench.Table) { f.Rows[0][2] = "n/a" }, "shape changed"},
+		"row loss":        {func(f *bench.Table) { f.Rows = f.Rows[:1] }, "row count"},
+		"header change":   {func(f *bench.Table) { f.Header[1] = "cells" }, "header changed"},
+		"fresh claim":     {func(f *bench.Table) { f.Finding = "x [CLAIM FAILED: y]" }, "fresh run reports"},
+	} {
+		fresh := table()
+		tc.mut(fresh)
+		problems := diffTables(table(), fresh, 0.01)
+		if len(problems) == 0 {
+			t.Errorf("%s: not caught", name)
+			continue
+		}
+		if !strings.Contains(strings.Join(problems, "\n"), tc.want) {
+			t.Errorf("%s: problems %v lack %q", name, problems, tc.want)
+		}
+	}
+}
+
+func TestDiffTablesToleranceHolds(t *testing.T) {
+	fresh := table()
+	fresh.Rows[0][1] = "1030" // +0.6% on 1024
+	if problems := diffTables(table(), fresh, 0.01); len(problems) != 0 {
+		t.Errorf("within-tolerance drift reported: %v", problems)
+	}
+	// A committed zero must stay zero regardless of tolerance.
+	fresh = table()
+	fresh.Rows[0][1] = "0"
+	committed := table()
+	committed.Rows[0][1] = "0"
+	fresh2 := table()
+	fresh2.Rows[0][1] = "1"
+	if problems := diffTables(committed, fresh, 0.5); len(problems) != 0 {
+		t.Errorf("zero==zero reported: %v", problems)
+	}
+	if problems := diffTables(committed, fresh2, 0.5); len(problems) == 0 {
+		t.Error("zero -> nonzero not caught")
+	}
+}
+
+func TestNoisyColumn(t *testing.T) {
+	for _, h := range []string{"ns/op", "row ns/op", "overhead", "wall speedup", "throughput/s", "p99_us", "shed", "elapsed_us"} {
+		if !noisyColumn(h) {
+			t.Errorf("%q not classified noisy", h)
+		}
+	}
+	for _, h := range []string{"ticks", "rows", "speedup", "tick speedup", "sessions", "answers match"} {
+		if noisyColumn(h) {
+			t.Errorf("%q wrongly classified noisy", h)
+		}
+	}
+}
+
+// TestEndToEnd runs the real flow against a snapshot generated from the
+// registry itself (F4 re-derives the paper's printed Summary-DB values
+// — cheap and fully deterministic), then corrupts it and expects exit 1.
+func TestEndToEnd(t *testing.T) {
+	fresh, err := runExperiment("F4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(tab *bench.Table) {
+		data, err := json.Marshal(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_F4.json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(fresh)
+	var out, errOut strings.Builder
+	if code := realMain([]string{"-dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("clean diff exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "benchdiff: F4 ok") {
+		t.Errorf("missing ok line: %q", out.String())
+	}
+
+	fresh.Rows[0][1] = "999999"
+	write(fresh)
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-dir", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("corrupted snapshot exited %d, want 1: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "1 of 1 snapshots diverged") {
+		t.Errorf("missing summary: %q", errOut.String())
+	}
+
+	// A snapshot naming a nonexistent experiment fails too.
+	if err := os.Rename(filepath.Join(dir, "BENCH_F4.json"), filepath.Join(dir, "BENCH_E999.json")); err != nil {
+		t.Fatal(err)
+	}
+	if code := realMain([]string{"-dir", dir}, &out, &errOut); code != 1 {
+		t.Error("unknown experiment id did not fail")
+	}
+}

@@ -64,6 +64,9 @@ func realMain(args []string, in io.Reader, out, errw io.Writer) int {
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], in, out, errw)
 	}
+	if len(args) > 0 && args[0] == "load" {
+		return runLoad(args[1:], out, errw)
+	}
 	fs := flag.NewFlagSet("statdb", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	analyst := fs.String("analyst", "analyst1", "analyst identity for this session")
@@ -190,6 +193,9 @@ func runServe(args []string, in io.Reader, out, errw io.Writer) int {
 	sloP99 := fs.Int64("slo-p99-ticks", 0, "warn on /healthz when a verb's windowed p99 exceeds this many ticks (0 = off)")
 	sloErrRate := fs.Float64("slo-error-rate", 0, "warn on /healthz when a verb's windowed error rate exceeds this fraction (0 = off)")
 	sloBreachRate := fs.Float64("slo-breach-rate", 0, "warn on /healthz when a verb's windowed budget-breach rate exceeds this fraction (0 = off)")
+	gateSlots := fs.Int("gate-slots", 1, "admission gate concurrency for /query sessions")
+	gateQueue := fs.Int("gate-queue", 64, "admission gate queue bound; overflow sheds with 429")
+	sessionTicks := fs.Int64("session-ticks", 0, "per-/query-session tick quota; spent sessions shed (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -200,6 +206,14 @@ func runServe(args []string, in io.Reader, out, errw io.Writer) int {
 		return 1
 	}
 	d.SetQueryBudget(*maxTicks, *maxPages)
+	// The gate serializes the engine across the stdin loop and every
+	// /query session, and makes the resulting queueing observable.
+	d.SetGate(core.NewGate(core.GateConfig{
+		Slots: *gateSlots,
+		Queue: *gateQueue,
+		Reg:   d.MetricsRegistry(),
+		Wall:  wallClockUs(),
+	}))
 
 	logCfg := obs.EventLogConfig{
 		Path:        *events,
@@ -230,7 +244,8 @@ func runServe(args []string, in io.Reader, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "statdb serve:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: obs.NewHandler(obs.HandlerConfig{
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.NewHandler(obs.HandlerConfig{
 		Snap:     d.Metrics,
 		Tracer:   d.Tracer(),
 		Sampler:  smp,
@@ -240,8 +255,10 @@ func runServe(args []string, in io.Reader, out, errw io.Writer) int {
 			MaxErrorRate:  *sloErrRate,
 			MaxBreachRate: *sloBreachRate,
 		}),
-	})}
-	fmt.Fprintf(out, "statdb serving on http://%s (/metrics /statz /tracez /profilez /healthz)\n", ln.Addr())
+	}))
+	mux.Handle("/query", newSessionHub(d, *analyst, elog, *sessionTicks))
+	srv := &http.Server{Handler: mux}
+	fmt.Fprintf(out, "statdb serving on http://%s (/metrics /statz /tracez /profilez /healthz, POST /query)\n", ln.Addr())
 	elog.Log(obs.Event{Kind: "serve", Msg: fmt.Sprintf("listening on %s", ln.Addr())})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

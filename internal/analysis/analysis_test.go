@@ -19,6 +19,7 @@ var fixtureCases = []string{
 	"determinism",
 	"sentinel",
 	"goroutine",
+	"loadclock",
 	"metricnames",
 	"spanbalance",
 	"suppress",

@@ -8,8 +8,10 @@ import (
 // surfaces: internal/exec owns the worker pool (`make race` hammers
 // it), internal/obs's handles are lock-free by design, internal/shard
 // scatters one goroutine per shard (its race suite covers concurrent
-// scatter-gather under fault injection), and cmd/statdb runs the serve
-// loop's ticker and shutdown goroutines. A `go` statement anywhere
+// scatter-gather under fault injection), internal/load spawns one
+// goroutine per simulated session (its conservation and digest tests
+// run the fan-out under -race), and cmd/statdb runs the serve loop's
+// ticker and shutdown goroutines. A `go` statement anywhere
 // else creates concurrency the determinism contract and the race suite
 // never see — such work must be expressed as exec.Pool chunks instead.
 type GoroutineConfine struct{}
@@ -19,6 +21,7 @@ var goroutineDirs = []string{
 	"internal/exec",
 	"internal/obs",
 	"internal/shard",
+	"internal/load",
 	"cmd/statdb",
 }
 
@@ -27,7 +30,7 @@ func (GoroutineConfine) ID() string { return "goroutine-confine" }
 
 // Doc implements Rule.
 func (GoroutineConfine) Doc() string {
-	return "go statements only in internal/exec, internal/obs, internal/shard and cmd/statdb; fan out via exec.Pool (PR 1 contract)"
+	return "go statements only in internal/exec, internal/obs, internal/shard, internal/load and cmd/statdb; fan out via exec.Pool (PR 1 contract)"
 }
 
 // Check implements Rule.

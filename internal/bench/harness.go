@@ -96,6 +96,7 @@ func All() []Experiment {
 		{"E16", E16RunStrategy},
 		{"E17", E17ShardedScatterGather},
 		{"E18", E18ProfilerOverhead},
+		{"E19", E19LoadSaturation},
 		{"A1", AblationClustering},
 		{"A2", AblationWindowWidth},
 		{"A3", AblationAutoReorg},

@@ -48,6 +48,9 @@ type DBMS struct {
 	// this DBMS inherit for run-aware compressed execution (0 = the view
 	// default, negative = disabled).
 	runThreshold float64
+	// gate is the admission layer executors pass every statement
+	// through; nil (the default) admits everything immediately.
+	gate *Gate
 }
 
 // New creates a DBMS over an empty tape archive with default cost models.
@@ -121,6 +124,23 @@ func (d *DBMS) QueryBudget() (maxTicks, maxPages int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.maxTicks, d.maxPages
+}
+
+// SetGate installs the admission gate executors pass statements
+// through. Nil removes gating. The setting applies to statements
+// started after the call; statements already queued at the old gate
+// drain through it.
+func (d *DBMS) SetGate(g *Gate) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate = g
+}
+
+// Gate returns the installed admission gate (nil = ungated).
+func (d *DBMS) Gate() *Gate {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gate
 }
 
 // SetParallelism sets the worker count views built from here on use for

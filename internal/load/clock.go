@@ -1,0 +1,36 @@
+package load
+
+import "time"
+
+// Clock is the driver's wall-clock shim — the one place in this
+// package allowed to read real time. Everything the engine measures
+// stays in virtual ticks; the driver additionally owns wall latency
+// (what an analyst actually felt), and it reads that exclusively
+// through a Clock so the determinism vet rule can confine wall-clock
+// access to this file. A nil Clock reports zero time and returns from
+// Sleep immediately, which is the fully deterministic configuration
+// the tests and the E19 digest assertions run under.
+type Clock struct {
+	start time.Time
+}
+
+// NewClock starts a wall clock at the current instant.
+func NewClock() *Clock { return &Clock{start: time.Now()} }
+
+// NowUs returns microseconds elapsed since the clock started (0 for a
+// nil clock).
+func (c *Clock) NowUs() int64 {
+	if c == nil {
+		return 0
+	}
+	return time.Since(c.start).Microseconds()
+}
+
+// Sleep blocks for us microseconds; a nil clock (or a non-positive
+// duration) returns immediately, so deterministic runs never sleep.
+func (c *Clock) Sleep(us int64) {
+	if c == nil || us <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(us) * time.Microsecond)
+}

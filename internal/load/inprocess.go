@@ -1,0 +1,38 @@
+package load
+
+import (
+	"bytes"
+
+	"statdb/internal/core"
+	"statdb/internal/obs"
+	"statdb/internal/query"
+)
+
+// InProcess returns the NewSession factory for driving a DBMS in the
+// same process: each session gets its own query.Executor (its own
+// answer buffer, so the digest sees exactly what that session was
+// told) attributed through SetSession and quota-gated through its
+// session budget. All sessions act as the same analyst, so they share
+// the views the fixture materialized.
+//
+// Concurrent executors share the DBMS tracer, which allows one open
+// query at a time; the admission gate is what serializes them. If the
+// DBMS has no gate installed, InProcess installs the default (one
+// slot, a queue deep enough that closed-loop sessions never shed) —
+// driving ungated would race on the tracer.
+func InProcess(d *core.DBMS, analyst string) func(id string, budget *obs.Budget) Exec {
+	if d.Gate() == nil {
+		d.SetGate(core.NewGate(core.GateConfig{Slots: 1, Queue: 4096, Reg: d.MetricsRegistry()}))
+	}
+	return func(id string, budget *obs.Budget) Exec {
+		var buf bytes.Buffer
+		e := query.NewExecutor(d, analyst, &buf)
+		e.SetSession(id)
+		e.SetSessionBudget(budget)
+		return func(stmt string) (string, query.Measured, error) {
+			buf.Reset()
+			m, err := e.RunMeasured(stmt)
+			return buf.String(), m, err
+		}
+	}
+}

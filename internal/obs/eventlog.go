@@ -20,16 +20,18 @@ const (
 // the system chose — the operational counterpart of the paper's update
 // history (§3.3), kept per statement instead of per file.
 type QueryRecord struct {
-	Query      string `json:"query"`                // statement text as typed
-	TotalTicks int64  `json:"total_ticks"`          // root span total
-	Rows       int64  `json:"rows,omitempty"`       // rows scanned (sum over scan spans)
-	Pages      int64  `json:"pages,omitempty"`      // buffer-pool page reads charged to the budget
-	CacheHits  int64  `json:"cache_hits,omitempty"` // summary-db hit delta
-	CacheMiss  int64  `json:"cache_miss,omitempty"` // summary-db miss delta
-	Strategy   string `json:"strategy,omitempty"`   // incremental | recompute | cached
-	Engine     string `json:"engine,omitempty"`     // serial | parallel
-	Budget     string `json:"budget,omitempty"`     // budget breach description, if any
-	Err        string `json:"err,omitempty"`        // statement error, if any
+	Query      string `json:"query"`                 // statement text as typed
+	Session    string `json:"session,omitempty"`     // originating simulated session, when one is attached
+	SessionSeq int64  `json:"session_seq,omitempty"` // 1-based statement number within that session
+	TotalTicks int64  `json:"total_ticks"`           // root span total
+	Rows       int64  `json:"rows,omitempty"`        // rows scanned (sum over scan spans)
+	Pages      int64  `json:"pages,omitempty"`       // buffer-pool page reads charged to the budget
+	CacheHits  int64  `json:"cache_hits,omitempty"`  // summary-db hit delta
+	CacheMiss  int64  `json:"cache_miss,omitempty"`  // summary-db miss delta
+	Strategy   string `json:"strategy,omitempty"`    // incremental | recompute | cached
+	Engine     string `json:"engine,omitempty"`      // serial | parallel
+	Budget     string `json:"budget,omitempty"`      // budget breach description, if any
+	Err        string `json:"err,omitempty"`         // statement error, if any
 	// Slow-query capture: a statement breaching the slow-ticks threshold
 	// or its budget gets its rendered top-sites profile and explain tree
 	// attached, so the incident record alone answers "where did the

@@ -100,7 +100,7 @@ func TestHandlerEndpoints(t *testing.T) {
 func TestHandlerZeroConfig(t *testing.T) {
 	srv := httptest.NewServer(NewHandler(HandlerConfig{}))
 	defer srv.Close()
-	for _, path := range []string{"/healthz", "/metrics", "/statz", "/tracez"} {
+	for _, path := range []string{"/healthz", "/metrics", "/statz", "/tracez", "/profilez", "/profilez?format=json"} {
 		if code, _ := get(t, srv, path); code != 200 {
 			t.Errorf("%s = %d on zero config", path, code)
 		}

@@ -35,6 +35,28 @@ const (
 	MQueryTicks      = "query.ticks"           // histogram family: total ticks per statement
 	MQueryVerbErrors = "query.verb_errors"     // counter family: failed statements
 	MQueryBreaches   = "query.budget_breaches" // counter family: budget-aborted statements
+	MQueryWallUs     = "query.wall_us"         // histogram family: wall latency per statement (µs), observed by wall-owning callers
+
+	// Admission gate (core.Gate): contention made observable while the
+	// engine serializes internally. Wait time is recorded twice — in
+	// virtual ticks from the caller's virtual clock (deterministic
+	// attribution) and in wall microseconds from the caller's wall shim
+	// (what an analyst actually felt). The gate itself never reads a
+	// clock; both are injected.
+	MGateAdmitted  = "query.wait_admitted" // statements admitted through the gate
+	MGateShed      = "query.wait_shed"     // statements rejected: queue full or session quota spent
+	MGateQueue     = "query.wait_queue"    // gauge: statements queued right now
+	MGateInflight  = "query.wait_inflight" // gauge: statements holding a slot right now
+	MGateWaitTicks = "query.wait_ticks"    // histogram: virtual ticks spent queued
+	MGateWaitWall  = "query.wait_wall_us"  // histogram: wall µs spent queued
+
+	// Load driver (internal/load): the multi-session replay harness.
+	MLoadSessions   = "load.sessions"   // simulated sessions started
+	MLoadStatements = "load.statements" // statements issued by the driver
+	MLoadErrors     = "load.errors"     // statements that failed (shed included)
+	MLoadShed       = "load.shed"       // statements rejected at admission
+	MLoadInflight   = "load.inflight"   // gauge: sessions currently live
+	MLoadLatency    = "load.latency_us" // histogram: end-to-end statement wall latency (µs)
 
 	// Storage layer (internal/storage). Each buffer pool keeps these in
 	// its own registry; core.DBMS merges them.
@@ -132,6 +154,19 @@ func PassTicksBounds() []int64 { return []int64{1_000, 10_000, 100_000, 1_000_00
 // the top.
 func QueryTicksBounds() []int64 { return []int64{100, 1_000, 10_000, 100_000, 1_000_000} }
 
+// WaitTicksBounds are the fixed bucket bounds of the query.wait_ticks
+// histogram (virtual ticks spent queued at the admission gate). The
+// bottom bucket is "admitted without waiting"; the top is a queue many
+// whole-column recomputes deep.
+func WaitTicksBounds() []int64 { return []int64{0, 1_000, 10_000, 100_000, 1_000_000, 10_000_000} }
+
+// WallUsBounds are the fixed bucket bounds of the wall-microsecond
+// histograms (query.wall_us.<verb>, query.wait_wall_us,
+// load.latency_us): 100µs cache hits through multi-second stalls.
+func WallUsBounds() []int64 {
+	return []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+}
+
 // baselineCounters lists every canonical counter, so a fresh registry
 // exports the full (all-zero) family set and the text format's shape
 // does not depend on which subsystems happened to run.
@@ -140,6 +175,8 @@ var baselineCounters = []string{
 	MExecRunsFolded, MExecRowsDecoded, MExecRunStrategyHits,
 	MMedwinSlides, MMedwinRebuilds,
 	MQueryStatements, MQueryErrors,
+	MGateAdmitted, MGateShed,
+	MLoadSessions, MLoadStatements, MLoadErrors, MLoadShed,
 	MProfileQueries, MProfileSlow,
 	MStoragePoolHits, MStoragePoolMisses, MStoragePoolEvictions,
 	MStoragePoolEvictDirty, MStoragePoolEvictFailed,
@@ -166,5 +203,11 @@ func RegisterBaseline(r *Registry) {
 	}
 	r.Gauge(MExecInflight)
 	r.Gauge(MShardDown)
+	r.Gauge(MGateQueue)
+	r.Gauge(MGateInflight)
+	r.Gauge(MLoadInflight)
 	r.Histogram(MSummaryPassTicks, PassTicksBounds())
+	r.Histogram(MGateWaitTicks, WaitTicksBounds())
+	r.Histogram(MGateWaitWall, WallUsBounds())
+	r.Histogram(MLoadLatency, WallUsBounds())
 }

@@ -30,6 +30,15 @@ type VerbSLO struct {
 	ErrorRate  float64  `json:"error_rate"`
 	BreachRate float64  `json:"breach_rate"`
 	Warn       []string `json:"warn,omitempty"` // objectives this verb is burning
+	// Wall-clock latency percentiles over the window, re-aggregated from
+	// the query.wall_us.<verb> bucket deltas. Observed only by layers
+	// that own wall time (the load driver, the serve /query handler), so
+	// WallCount is zero — and the wall fields absent from renderings —
+	// when no such layer is feeding the verb.
+	WallCount int64   `json:"wall_count,omitempty"`
+	WallP50   float64 `json:"wall_p50,omitempty"`
+	WallP90   float64 `json:"wall_p90,omitempty"`
+	WallP99   float64 `json:"wall_p99,omitempty"`
 }
 
 // SLOStatus is the rolled-up answer /healthz serves.
@@ -64,6 +73,23 @@ func labelSuffix(name, family string) (string, bool) {
 	return "", false
 }
 
+// addDelta folds one sample's bucket deltas into the windowed
+// accumulator. The first contribution fixes the bounds; later samples
+// with matching bucket counts add in place (the re-aggregation that
+// makes windowed percentiles sound).
+func addDelta(h *HistValue, hd HistDelta) {
+	h.Count += hd.Count
+	h.Sum += hd.Sum
+	if len(h.Counts) == len(hd.Counts) {
+		for i := range hd.Counts {
+			h.Counts[i] += hd.Counts[i]
+		}
+	} else {
+		h.Bounds = hd.Bounds
+		h.Counts = append([]int64(nil), hd.Counts...)
+	}
+}
+
 // Status aggregates the current window. Verbs are sorted by name; OK is
 // false when any verb burns any configured objective.
 func (s *SLO) Status() SLOStatus {
@@ -73,6 +99,7 @@ func (s *SLO) Status() SLOStatus {
 	}
 	type acc struct {
 		hist     HistValue
+		wall     HistValue
 		errors   int64
 		breaches int64
 	}
@@ -88,20 +115,11 @@ func (s *SLO) Status() SLOStatus {
 	for _, sm := range s.smp.Samples() {
 		st.Window += sm.Dur
 		for name, hd := range sm.Hists {
-			verb, ok := labelSuffix(name, MQueryTicks)
-			if !ok {
-				continue
+			if verb, ok := labelSuffix(name, MQueryTicks); ok {
+				addDelta(&get(verb).hist, hd)
 			}
-			a := get(verb)
-			a.hist.Count += hd.Count
-			a.hist.Sum += hd.Sum
-			if len(a.hist.Counts) == len(hd.Counts) {
-				for i := range hd.Counts {
-					a.hist.Counts[i] += hd.Counts[i]
-				}
-			} else {
-				a.hist.Bounds = hd.Bounds
-				a.hist.Counts = append([]int64(nil), hd.Counts...)
+			if verb, ok := labelSuffix(name, MQueryWallUs); ok {
+				addDelta(&get(verb).wall, hd)
 			}
 		}
 		for name, d := range sm.Counters {
@@ -124,6 +142,12 @@ func (s *SLO) Status() SLOStatus {
 		v.P50, _ = a.hist.Quantile(0.50)
 		v.P90, _ = a.hist.Quantile(0.90)
 		v.P99, _ = a.hist.Quantile(0.99)
+		v.WallCount = a.wall.Count
+		if a.wall.Count > 0 {
+			v.WallP50, _ = a.wall.Quantile(0.50)
+			v.WallP90, _ = a.wall.Quantile(0.90)
+			v.WallP99, _ = a.wall.Quantile(0.99)
+		}
 		// Statements observed = histogram count plus statements that
 		// failed before a tick total was recorded; the histogram count is
 		// the denominator every recorded statement shares.
@@ -131,8 +155,16 @@ func (s *SLO) Status() SLOStatus {
 		if denom > 0 {
 			v.ErrorRate = float64(a.errors) / float64(denom)
 			v.BreachRate = float64(a.breaches) / float64(denom)
-		} else if a.errors > 0 {
-			v.ErrorRate = 1
+		} else {
+			// Zero-traffic window for this verb: rates saturate rather
+			// than divide by zero, and a breach with no recorded
+			// statements burns exactly like an error does.
+			if a.errors > 0 {
+				v.ErrorRate = 1
+			}
+			if a.breaches > 0 {
+				v.BreachRate = 1
+			}
 		}
 		if s.cfg.P99Ticks > 0 && v.P99 > float64(s.cfg.P99Ticks) {
 			v.Warn = append(v.Warn, fmt.Sprintf("p99 %g > %d ticks", v.P99, s.cfg.P99Ticks))
@@ -165,6 +197,9 @@ func (st SLOStatus) WriteText(w io.Writer) error {
 	for _, v := range st.Verbs {
 		line := fmt.Sprintf("slo %s: n=%d p50=%g p90=%g p99=%g errors=%d breaches=%d",
 			v.Verb, v.Count, v.P50, v.P90, v.P99, v.Errors, v.Breaches)
+		if v.WallCount > 0 {
+			line += fmt.Sprintf(" wall_p50=%gus wall_p90=%gus wall_p99=%gus", v.WallP50, v.WallP90, v.WallP99)
+		}
 		if len(v.Warn) > 0 {
 			line += " WARN[" + strings.Join(v.Warn, "; ") + "]"
 		}

@@ -85,6 +85,9 @@ func TestEventLogGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.SetEventLog(log)
+	// Attribute the stream to a simulated session so the golden pins the
+	// session id and 1-based per-session sequence numbers.
+	e.SetSession("s01")
 	for _, stmt := range []string{
 		"compute mean SALARY on mv",                   // miss: scan + parallel fold
 		"compute mean SALARY on mv",                   // hit

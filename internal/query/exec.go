@@ -34,6 +34,17 @@ type Executor struct {
 	// span ticks — stamped on each record.
 	events *obs.EventLog
 	clock  int64
+	// session names the simulated analyst session this executor serves
+	// (empty outside the load driver / serve session map); sessionSeq
+	// numbers its statements 1-based; sessionBudget is the session-wide
+	// quota the admission gate checks and charges queue ticks against.
+	session       string
+	sessionSeq    int64
+	sessionBudget *obs.Budget
+	// lastProfile/lastPages capture the most recent statement's folded
+	// profile and page charge for RunMeasured callers.
+	lastProfile *obs.Profile
+	lastPages   int64
 }
 
 // NewExecutor creates an executor for the named analyst.
@@ -57,6 +68,57 @@ func NewExecutor(d *core.DBMS, analyst string, out io.Writer) *Executor {
 // nil detaches it. The executor model is single-threaded, so this is
 // set before the query loop starts.
 func (e *Executor) SetEventLog(l *obs.EventLog) { e.events = l }
+
+// SetSession attributes this executor's statements to a simulated
+// session: event-log records carry the id and a 1-based per-session
+// sequence number. Setting a session resets the sequence.
+func (e *Executor) SetSession(id string) {
+	e.session = id
+	e.sessionSeq = 0
+}
+
+// SetSessionBudget attaches the session-wide quota the admission gate
+// enforces: a spent budget sheds the session's statements at the door,
+// and ticks spent queued are charged against it. Nil detaches it.
+func (e *Executor) SetSessionBudget(b *obs.Budget) { e.sessionBudget = b }
+
+// Measured summarizes one statement for callers that need exact
+// per-statement attribution (the load driver's conservation checks):
+// the verb it dispatched as, the cost-model ticks its folded profile
+// charged, and the buffer-pool pages its budget recorded.
+type Measured struct {
+	Verb  string
+	Ticks int64
+	Pages int64
+}
+
+// RunMeasured is Run plus measurement: it parses and executes one
+// statement and reports what it cost. A shed or failed statement
+// reports the error alongside whatever was measured before the abort
+// (zero ticks when admission refused it).
+func (e *Executor) RunMeasured(input string) (Measured, error) {
+	input = strings.TrimSpace(input)
+	if input == "" {
+		return Measured{}, nil
+	}
+	cmd, err := Parse(input)
+	if err != nil {
+		e.cErrors.Inc()
+		return Measured{}, err
+	}
+	e.cStatements.Inc()
+	e.lastProfile = nil
+	e.lastPages = 0
+	err = e.dispatch(cmd, input)
+	if err != nil {
+		e.cErrors.Inc()
+	}
+	m := Measured{Verb: verbOf(cmd), Pages: e.lastPages}
+	if e.lastProfile != nil {
+		m.Ticks = e.lastProfile.Ticks
+	}
+	return m, err
+}
 
 // Run parses and executes one statement, counting it (and any failure)
 // in the query.* metric family.
@@ -147,6 +209,16 @@ func (e *Executor) dispatch(cmd Command, text string) error {
 // after commands that bypass those layers — and the statement lands in
 // the event log either way.
 func (e *Executor) runProfiled(cmd Command, text string) (*obs.Span, error) {
+	// Admission first: the DBMS gate bounds how many statements hold the
+	// engine at once and sheds when its queue overflows or this
+	// session's quota is spent. Everything below — budget, span tree,
+	// profiling — happens inside the admitted critical section, so the
+	// shared tracer sees one statement at a time.
+	release, err := e.DBMS.Gate().Acquire(e.sessionBudget)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	maxTicks, maxPages := e.DBMS.QueryBudget()
 	budget := obs.NewBudget(maxTicks, maxPages)
 	var before obs.Snapshot
@@ -155,13 +227,15 @@ func (e *Executor) runProfiled(cmd Command, text string) (*obs.Span, error) {
 	}
 	e.tracer.SetBudget(budget)
 	root := e.tracer.Begin("query")
-	err := e.exec(cmd)
+	err = e.exec(cmd)
 	root.End()
 	e.tracer.SetBudget(nil)
 	if err == nil {
 		err = budget.Err()
 	}
 	prof := e.observeVerb(cmd, root, err)
+	e.lastProfile = prof
+	_, e.lastPages = budget.Used()
 	e.logQuery(text, cmd, root, prof, budget, before, err)
 	return root, err
 }
@@ -253,6 +327,7 @@ func verbOf(cmd Command) string {
 func (e *Executor) logQuery(text string, cmd Command, root *obs.Span, prof *obs.Profile, budget *obs.Budget, before obs.Snapshot, err error) {
 	total := root.Total()
 	e.clock += total
+	e.sessionSeq++
 	if e.events == nil {
 		return
 	}
@@ -265,6 +340,10 @@ func (e *Executor) logQuery(text string, cmd Command, root *obs.Span, prof *obs.
 		TotalTicks: total,
 		Rows:       scanRows(root),
 		Pages:      pages,
+	}
+	if e.session != "" {
+		rec.Session = e.session
+		rec.SessionSeq = e.sessionSeq
 	}
 	after := e.DBMS.Metrics()
 	delta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
