@@ -16,9 +16,12 @@ race:
 
 # Static checks: statdb-vet enforces the engine's contracts over the
 # AST (obs/goroutine confinement, no library panics, virtual-clock
-# determinism, errors.Is/As sentinel matching, canonical metric names —
-# see DESIGN.md "Static analysis"), gofmt keeps formatting drift out of
-# review, and go vet catches the stdlib's own suspects.
+# determinism, errors.Is/As sentinel matching, canonical metric names,
+# and the interprocedural lock-confinement / charge-tracking /
+# error-flow rules — see DESIGN.md "Static analysis"), gofmt keeps
+# formatting drift out of review, and go vet catches the stdlib's own
+# suspects. CI runs this under `timeout 60`: the parallel checker is
+# budgeted at one minute for the whole tree.
 lint:
 	$(GO) run ./cmd/statdb-vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

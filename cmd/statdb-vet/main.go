@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	statdb-vet [-root dir] [-json] [-rules] [pattern ...]
+//	statdb-vet [-root dir] [-format text|json|sarif] [-rules] [pattern ...]
 //
 // Patterns are root-relative directories; a trailing /... selects the
 // subtree and the default is ./... over the enclosing module. Findings
-// print one per line as file:line: [rule-id] message (or as JSONL with
-// -json) and any finding makes the exit status 1; load or usage
-// problems exit 2.
+// print one per line as file:line: [rule-id] message; -format json
+// emits JSONL (the legacy -json flag is an alias) and -format sarif
+// emits a SARIF 2.1.0 document CI renders as inline annotations. Any
+// finding makes the exit status 1; load or usage problems exit 2.
 package main
 
 import (
@@ -34,10 +35,23 @@ func main() {
 func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("statdb-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as JSON lines instead of text")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON lines (alias for -format json)")
+	format := fs.String("format", "", "output format: text (default), json, or sarif")
 	root := fs.String("root", "", "tree root to analyze (default: the enclosing module root)")
 	listRules := fs.Bool("rules", false, "list the rule ids and contracts, then exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "":
+		if *jsonOut {
+			*format = "json"
+		} else {
+			*format = "text"
+		}
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "statdb-vet: unknown -format %q (want text, json or sarif)\n", *format)
 		return 2
 	}
 
@@ -65,7 +79,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	findings := analysis.Run(tree, rules)
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		for _, f := range findings {
 			if err := enc.Encode(f); err != nil {
@@ -73,7 +88,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
-	} else {
+	case "sarif":
+		if err := writeSARIF(stdout, rules, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
@@ -81,7 +101,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if len(findings) > 0 {
 		return 1
 	}
-	if !*jsonOut {
+	if *format == "text" {
 		fmt.Fprintf(stdout, "statdb-vet: ok (%d files, %d rules)\n", tree.NumFiles(), len(rules))
 	}
 	return 0

@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite the SARIF golden file")
 
 // fixture returns the -root argument for one analysis fixture tree.
 func fixture(name string) string {
@@ -16,7 +20,7 @@ func fixture(name string) string {
 // TestFixturesExitNonzero is the acceptance check: the driver exits 1
 // with a deterministic finding on every fixture package.
 func TestFixturesExitNonzero(t *testing.T) {
-	for _, name := range []string{"obsconfine", "nopanic", "determinism", "sentinel", "goroutine", "metricnames", "suppress"} {
+	for _, name := range []string{"obsconfine", "nopanic", "determinism", "sentinel", "goroutine", "metricnames", "suppress", "lockconfine", "chargetrack", "errorflow"} {
 		var out, errOut bytes.Buffer
 		code := realMain([]string{"-root", fixture(name), "./..."}, &out, &errOut)
 		if code != 1 {
@@ -87,5 +91,100 @@ func TestBadRootExitTwo(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := realMain([]string{"-root", fixture("no-such-fixture"), "./..."}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestParseFailureExitTwo: a tree with a syntax error is a load
+// problem — the driver prints the parse error and exits 2, it does not
+// panic and does not report findings.
+func TestParseFailureExitTwo(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "internal", "bad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("package bad\n\nfunc F( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := realMain([]string{"-root", root, "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if errOut.Len() == 0 {
+		t.Error("no parse diagnostic on stderr")
+	}
+}
+
+// TestBadFormatExitTwo pins the usage-error path for -format.
+func TestBadFormatExitTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := realMain([]string{"-format", "xml"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown -format") {
+		t.Errorf("missing usage diagnostic: %s", errOut.String())
+	}
+}
+
+// TestSARIFGolden runs -format sarif over the errorflow fixture and
+// compares the whole document byte for byte (regenerate with
+// go test ./cmd/statdb-vet -run SARIF -update).
+func TestSARIFGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := realMain([]string{"-root", fixture("errorflow"), "-format", "sarif", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	golden := filepath.Join("testdata", "errorflow.sarif.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("SARIF output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", out.String(), want)
+	}
+	// Sanity beyond byte equality: the document is valid JSON and the
+	// run carries every rule plus at least one result.
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "statdb-vet" || len(run.Tool.Driver.Rules) == 0 {
+		t.Errorf("driver block incomplete: %+v", run.Tool.Driver)
+	}
+	if len(run.Results) == 0 {
+		t.Error("no results for a fixture with findings")
+	}
+	for _, res := range run.Results {
+		if res.RuleID != "error-flow" {
+			t.Errorf("unexpected ruleId %q for the errorflow fixture", res.RuleID)
+		}
 	}
 }

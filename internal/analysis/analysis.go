@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // Finding is one rule violation (or directive problem) at a position.
@@ -70,35 +72,77 @@ func (r *Reporter) Reportf(rule string, pos token.Pos, format string, args ...an
 
 // Run executes the rules over the tree, applies //lint:allow
 // suppressions, and returns the surviving findings in deterministic
-// order (file, line, column, rule, message).
+// order (file, line, column, rule, message). Rules run one goroutine
+// each against their own Reporter; the merge is by rule order and the
+// final sort is total, so the output is bit-identical to a serial run.
 func Run(t *Tree, rules []Rule) []Finding {
-	rep := &Reporter{tree: t}
 	known := make(map[string]bool, len(rules))
 	for _, r := range rules {
 		known[r.ID()] = true
 	}
-	for _, r := range rules {
-		r.Check(t, rep)
+	// Build the shared call graph up front so the goroutines below only
+	// ever read it.
+	t.Graph()
+	reps := make([]*Reporter, len(rules))
+	var wg sync.WaitGroup
+	for i, r := range rules {
+		reps[i] = &Reporter{tree: t}
+		wg.Add(1)
+		go func(rep *Reporter, r Rule) {
+			defer wg.Done()
+			r.Check(t, rep)
+		}(reps[i], r)
+	}
+	wg.Wait()
+	var raw []Finding
+	for _, rep := range reps {
+		raw = append(raw, rep.findings...)
 	}
 
 	directives, dirFindings := scanDirectives(t, known)
 	kept := dirFindings
-	for _, f := range rep.findings {
+	for _, f := range raw {
 		if suppress(directives, f) {
 			continue
 		}
 		kept = append(kept, f)
 	}
 	for _, d := range directives {
-		if d.valid && !d.used {
-			kept = append(kept, Finding{
-				File: d.file, Line: d.line, Col: d.col, Rule: directiveRule,
-				Msg: fmt.Sprintf("unused //lint:allow %s: no %s finding on this or the next line", d.rule, d.rule),
-			})
+		if !d.valid || d.used {
+			continue
 		}
+		msg := fmt.Sprintf("unused //lint:allow %s: no %s finding on this or the next line", d.rule, d.rule)
+		// When a different rule fired exactly where this directive
+		// points, the author almost certainly wrote the wrong id — say
+		// which one the site actually needs.
+		if others := rulesAt(raw, d); len(others) > 0 {
+			msg += fmt.Sprintf(" (the finding here is %s — did you mean //lint:allow %s?)",
+				strings.Join(others, ", "), others[0])
+		}
+		kept = append(kept, Finding{
+			File: d.file, Line: d.line, Col: d.col, Rule: directiveRule,
+			Msg: msg,
+		})
 	}
 	sortFindings(kept)
 	return kept
+}
+
+// rulesAt returns the distinct rule ids of raw findings the directive's
+// two-line window covers but does not name, sorted.
+func rulesAt(raw []Finding, d *directive) []string {
+	set := map[string]bool{}
+	for _, f := range raw {
+		if f.File == d.file && (f.Line == d.line || f.Line == d.line+1) && f.Rule != d.rule {
+			set[f.Rule] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func sortFindings(fs []Finding) {

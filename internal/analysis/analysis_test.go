@@ -23,6 +23,9 @@ var fixtureCases = []string{
 	"metricnames",
 	"spanbalance",
 	"suppress",
+	"lockconfine",
+	"chargetrack",
+	"errorflow",
 }
 
 func runFixture(t *testing.T, name string) []Finding {
@@ -126,8 +129,8 @@ func TestRuleDocs(t *testing.T) {
 		}
 		seen[r.ID()] = true
 	}
-	if len(seen) < 7 {
-		t.Errorf("want >= 7 rules, have %d", len(seen))
+	if len(seen) < 10 {
+		t.Errorf("want >= 10 rules, have %d", len(seen))
 	}
 }
 

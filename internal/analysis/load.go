@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // File is one parsed non-test source file.
@@ -82,7 +83,10 @@ func Load(root string, patterns ...string) (*Tree, error) {
 	}
 
 	t := &Tree{Root: absRoot, Fset: token.NewFileSet()}
-	byDir := map[string]*Package{}
+
+	// Phase 1 (serial): walk the directory tree and collect the .go
+	// files of every package. Pure directory listing — cheap.
+	byDir := map[string][]string{}
 	for key, recursive := range dirs {
 		dir := strings.TrimSuffix(key, "/...")
 		start := filepath.Join(absRoot, filepath.FromSlash(dir))
@@ -93,15 +97,49 @@ func Load(root string, patterns ...string) (*Tree, error) {
 		if !info.IsDir() {
 			return nil, fmt.Errorf("analysis: %s is not a directory", dir)
 		}
-		if err := loadDir(t, byDir, start, recursive); err != nil {
+		if err := discoverDir(t, byDir, start, recursive); err != nil {
 			return nil, err
 		}
 	}
-	for _, p := range byDir {
-		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Rel < p.Files[j].Rel })
-		t.Pkgs = append(t.Pkgs, p)
+
+	// Phase 2 (parallel): parse one goroutine per package. A
+	// token.FileSet is safe for concurrent ParseFile, and packages are
+	// assembled into pre-sorted slots, so the resulting tree — and
+	// every finding order derived from it — is identical to a serial
+	// load. The first error in package order wins, deterministically.
+	rels := make([]string, 0, len(byDir))
+	for rel := range byDir {
+		rels = append(rels, rel)
 	}
-	sort.Slice(t.Pkgs, func(i, j int) bool { return t.Pkgs[i].Rel < t.Pkgs[j].Rel })
+	sort.Strings(rels)
+	pkgs := make([]*Package, len(rels))
+	errs := make([]error, len(rels))
+	var wg sync.WaitGroup
+	for i, rel := range rels {
+		wg.Add(1)
+		go func(i int, rel string) {
+			defer wg.Done()
+			paths := byDir[rel]
+			sort.Strings(paths)
+			pkg := &Package{Rel: rel}
+			for _, path := range paths {
+				f, err := parser.ParseFile(t.Fset, path, nil, parser.ParseComments)
+				if err != nil {
+					errs[i] = fmt.Errorf("analysis: %w", err)
+					return
+				}
+				pkg.Files = append(pkg.Files, &File{Rel: t.relPath(path), Ast: f})
+			}
+			pkgs[i] = pkg
+		}(i, rel)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.Pkgs = pkgs
 	return t, nil
 }
 
@@ -112,7 +150,9 @@ func skipDir(name string) bool {
 		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
 }
 
-func loadDir(t *Tree, byDir map[string]*Package, dir string, recursive bool) error {
+// discoverDir records the non-test .go files of dir (and, recursively,
+// its subtrees) without parsing anything.
+func discoverDir(t *Tree, byDir map[string][]string, dir string, recursive bool) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -121,7 +161,7 @@ func loadDir(t *Tree, byDir map[string]*Package, dir string, recursive bool) err
 		name := e.Name()
 		if e.IsDir() {
 			if recursive && !skipDir(name) {
-				if err := loadDir(t, byDir, filepath.Join(dir, name), true); err != nil {
+				if err := discoverDir(t, byDir, filepath.Join(dir, name), true); err != nil {
 					return err
 				}
 			}
@@ -130,18 +170,8 @@ func loadDir(t *Tree, byDir map[string]*Package, dir string, recursive bool) err
 		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(t.Fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return fmt.Errorf("analysis: %w", err)
-		}
 		relDir := t.relPath(dir)
-		pkg := byDir[relDir]
-		if pkg == nil {
-			pkg = &Package{Rel: relDir}
-			byDir[relDir] = pkg
-		}
-		pkg.Files = append(pkg.Files, &File{Rel: t.relPath(path), Ast: f})
+		byDir[relDir] = append(byDir[relDir], filepath.Join(dir, name))
 	}
 	return nil
 }

@@ -10,8 +10,10 @@ import (
 // scatters one goroutine per shard (its race suite covers concurrent
 // scatter-gather under fault injection), internal/load spawns one
 // goroutine per simulated session (its conservation and digest tests
-// run the fan-out under -race), and cmd/statdb runs the serve loop's
-// ticker and shutdown goroutines. A `go` statement anywhere
+// run the fan-out under -race), cmd/statdb runs the serve loop's
+// ticker and shutdown goroutines, and internal/analysis parses fixture
+// packages in parallel (one goroutine per package over a thread-safe
+// FileSet, joined before any rule runs). A `go` statement anywhere
 // else creates concurrency the determinism contract and the race suite
 // never see — such work must be expressed as exec.Pool chunks instead.
 type GoroutineConfine struct{}
@@ -22,6 +24,7 @@ var goroutineDirs = []string{
 	"internal/obs",
 	"internal/shard",
 	"internal/load",
+	"internal/analysis",
 	"cmd/statdb",
 }
 
@@ -30,7 +33,7 @@ func (GoroutineConfine) ID() string { return "goroutine-confine" }
 
 // Doc implements Rule.
 func (GoroutineConfine) Doc() string {
-	return "go statements only in internal/exec, internal/obs, internal/shard, internal/load and cmd/statdb; fan out via exec.Pool (PR 1 contract)"
+	return "go statements only in internal/exec, internal/obs, internal/shard, internal/load, internal/analysis and cmd/statdb; fan out via exec.Pool (PR 1 contract)"
 }
 
 // Check implements Rule.

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// LockConfine (R8) machine-enforces the concurrency contract the
+// per-view confinement refactor (ROADMAP item 1) leans on: a struct
+// field annotated
+//
+//	// guarded by <mu>
+//
+// in internal/core, internal/summary, internal/view or internal/shard
+// may only be accessed by functions that hold that lock on every call
+// path. The guard names a mutex field of the same struct (`guarded by
+// mu`) or of another struct in the package (`guarded by Store.mu`).
+// The check is interprocedural: a helper that never locks is fine as
+// long as every resolved caller holds the lock when calling it, and a
+// `go`-spawned path never carries the spawner's critical section — the
+// goroutine body must reacquire. Initialization of a value the
+// function itself constructed (a local bound to a composite literal)
+// is exempt: nothing else can see it yet.
+type LockConfine struct{}
+
+// lockConfineDirs are the engine packages whose guarded-field
+// annotations the rule enforces.
+var lockConfineDirs = []string{
+	"internal/core",
+	"internal/summary",
+	"internal/view",
+	"internal/shard",
+}
+
+// guardedBy matches the annotation and captures the lock spec:
+// "mu", "scanMu" or "Type.mu". Trailing prose after the lock name is
+// allowed ("// guarded by mu (leaf lock)").
+var guardedBy = regexp.MustCompile(`(?i)guarded by\s+([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`)
+
+// ID implements Rule.
+func (LockConfine) ID() string { return "lock-confinement" }
+
+// Doc implements Rule.
+func (LockConfine) Doc() string {
+	return "fields annotated '// guarded by <mu>' in core/summary/view/shard are only touched with the lock held on every call path (PR 10 contract)"
+}
+
+// Check implements Rule.
+func (LockConfine) Check(t *Tree, rep *Reporter) {
+	g := t.Graph()
+	guarded := collectGuarded(t)
+	if len(guarded) == 0 {
+		return
+	}
+	holdCache := map[LockKey]map[FuncKey]bool{}
+	holdsFor := func(l LockKey) map[FuncKey]bool {
+		h, ok := holdCache[l]
+		if !ok {
+			h = g.Holds(l)
+			holdCache[l] = h
+		}
+		return h
+	}
+	type dedupKey struct {
+		fn    FuncKey
+		field string
+		typ   TypeRef
+		goSig bool
+	}
+	seen := map[dedupKey]bool{}
+	for _, key := range g.SortedFuncs() {
+		fi := g.Funcs[key]
+		for _, a := range fi.Accesses {
+			lock, ok := guarded[a.Type][a.Field]
+			if !ok || a.Fresh {
+				continue
+			}
+			if a.Go != nil {
+				if acquiresLockInGo(fi, lock, a.Go) {
+					continue
+				}
+				dk := dedupKey{key, a.Field, a.Type, true}
+				if seen[dk] {
+					continue
+				}
+				seen[dk] = true
+				rep.Reportf("lock-confinement", a.Pos,
+					"%s.%s is guarded by %s but a goroutine spawned in %s touches it without reacquiring the lock",
+					a.Type, a.Field, lock, key)
+				continue
+			}
+			if holdsFor(lock)[key] {
+				continue
+			}
+			dk := dedupKey{key, a.Field, a.Type, false}
+			if seen[dk] {
+				continue
+			}
+			seen[dk] = true
+			rep.Reportf("lock-confinement", a.Pos,
+				"%s.%s is guarded by %s but %s can be reached without the lock held",
+				a.Type, a.Field, lock, key)
+		}
+	}
+}
+
+// collectGuarded scans the annotated packages' struct declarations for
+// `// guarded by <mu>` field comments (trailing or doc) and returns
+// field -> lock per struct type.
+func collectGuarded(t *Tree) map[TypeRef]map[string]LockKey {
+	out := map[TypeRef]map[string]LockKey{}
+	for _, pkg := range t.Pkgs {
+		confined := false
+		for _, dir := range lockConfineDirs {
+			if underDir(pkg.Rel, dir) {
+				confined = true
+				break
+			}
+		}
+		if !confined {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Ast.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					ref := TypeRef{Pkg: pkg.Rel, Name: ts.Name.Name}
+					for _, fld := range st.Fields.List {
+						spec := guardSpec(fld)
+						if spec == "" {
+							continue
+						}
+						lock := parseLockSpec(ref, spec)
+						for _, name := range fld.Names {
+							if out[ref] == nil {
+								out[ref] = map[string]LockKey{}
+							}
+							out[ref][name.Name] = lock
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// guardSpec extracts the lock spec from a field's trailing or doc
+// comment, or "" when the field carries no annotation.
+func guardSpec(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Comment, fld.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedBy.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// parseLockSpec resolves "mu" to a field of the enclosing struct and
+// "Type.mu" to a field of another struct in the same package.
+func parseLockSpec(enclosing TypeRef, spec string) LockKey {
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == '.' {
+			return LockKey{
+				Type:  TypeRef{Pkg: enclosing.Pkg, Name: spec[:i]},
+				Field: spec[i+1:],
+			}
+		}
+	}
+	return LockKey{Type: enclosing, Field: spec}
+}

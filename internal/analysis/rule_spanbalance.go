@@ -16,6 +16,15 @@ import (
 // argument, stored in a composite literal or another variable), in
 // which case closing is the receiver's contract. A Begin whose result
 // is discarded outright can never be ended and is always a finding.
+//
+// Since PR 10 the escape-by-argument exemption is interprocedural:
+// when the call resolves through the package call graph, the span only
+// counts as handed off if the receiving parameter slot ends it,
+// forwards it onward to someone who does, or lets it escape again.
+// Passing a live span into a resolved callee that simply ignores it is
+// a leak, and is reported here at the Begin site. Unresolved calls
+// (stdlib, function values, interfaces) stay exempt — the old
+// conservative behaviour.
 type SpanBalance struct{}
 
 // ID implements Rule.
@@ -23,11 +32,13 @@ func (SpanBalance) ID() string { return "span-balance" }
 
 // Doc implements Rule.
 func (SpanBalance) Doc() string {
-	return "every Tracer.Begin in internal/ needs a matching End in the same function (defer counts), unless the span escapes (PR 8 contract)"
+	return "every Tracer.Begin in internal/ needs a matching End in the same function (defer counts), unless the span escapes to someone who ends it (PR 8 contract, interprocedural since PR 10)"
 }
 
 // Check implements Rule.
 func (SpanBalance) Check(t *Tree, rep *Reporter) {
+	g := t.Graph()
+	facts := g.spanFacts()
 	for _, pkg := range t.Pkgs {
 		if !underDir(pkg.Rel, "internal") {
 			continue
@@ -38,7 +49,7 @@ func (SpanBalance) Check(t *Tree, rep *Reporter) {
 				if !ok || fn.Body == nil {
 					continue
 				}
-				checkSpans(fn.Body, rep)
+				checkSpans(g, facts, fn.Body, rep)
 			}
 		}
 	}
@@ -61,7 +72,7 @@ func isBeginCall(e ast.Expr) (*ast.CallExpr, bool) {
 // part of the body: a Begin in the outer function ended inside a
 // closure (or vice versa) balances, matching how the scatter path
 // opens spans around pool callbacks.
-func checkSpans(body *ast.BlockStmt, rep *Reporter) {
+func checkSpans(g *Graph, facts map[spanSlot]bool, body *ast.BlockStmt, rep *Reporter) {
 	// Pass 1: collect Begin sites — the span variable each binds, or
 	// the discarded calls that can never be ended.
 	type site struct {
@@ -99,9 +110,11 @@ func checkSpans(body *ast.BlockStmt, rep *Reporter) {
 	})
 
 	// Pass 2: for each bound span, look for an End call or an escape
-	// anywhere in the body.
+	// anywhere in the body. An escape by argument into a resolved callee
+	// only counts if the callee's parameter slot closes the span.
 	for _, s := range sites {
 		ended, escaped := false, false
+		var badForward *FuncKey
 		ast.Inspect(body, func(n ast.Node) bool {
 			switch x := n.(type) {
 			case *ast.CallExpr:
@@ -110,9 +123,26 @@ func checkSpans(body *ast.BlockStmt, rep *Reporter) {
 						ended = true
 					}
 				}
-				for _, a := range x.Args {
-					if usesIdent(a, s.name) {
+				for argIdx, a := range x.Args {
+					if !usesIdent(a, s.name) {
+						continue
+					}
+					id, isPlain := a.(*ast.Ident)
+					site := g.SiteFor(x)
+					if !isPlain || id.Name != s.name || site == nil || !site.Resolved {
 						escaped = true
+						continue
+					}
+					callee := g.Funcs[site.Callee]
+					if callee == nil || argIdx >= len(callee.ParamNames) {
+						escaped = true
+						continue
+					}
+					if facts[spanSlot{site.Callee, argIdx + 1}] {
+						escaped = true
+					} else if badForward == nil {
+						k := site.Callee
+						badForward = &k
 					}
 				}
 			case *ast.ReturnStmt:
@@ -142,10 +172,16 @@ func checkSpans(body *ast.BlockStmt, rep *Reporter) {
 			}
 			return true
 		})
-		if !ended && !escaped {
-			rep.Reportf("span-balance", s.call.Pos(),
-				"span %s opened here has no reachable %s.End() in this function", s.name, s.name)
+		if ended || escaped {
+			continue
 		}
+		if badForward != nil {
+			rep.Reportf("span-balance", s.call.Pos(),
+				"span %s opened here is passed to %s, which never ends it", s.name, badForward)
+			continue
+		}
+		rep.Reportf("span-balance", s.call.Pos(),
+			"span %s opened here has no reachable %s.End() in this function", s.name, s.name)
 	}
 }
 

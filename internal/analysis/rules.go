@@ -23,5 +23,8 @@ func DefaultRules() []Rule {
 		GoroutineConfine{},
 		MetricNames{},
 		SpanBalance{},
+		LockConfine{},
+		ChargeTrack{},
+		ErrorFlow{},
 	}
 }

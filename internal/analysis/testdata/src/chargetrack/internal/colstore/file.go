@@ -1,0 +1,15 @@
+// Package colstore is the charge-tracking fixture's storage layer: its
+// read APIs must be metered when reached from a query verb.
+package colstore
+
+// File is a columnar file image.
+type File struct{}
+
+// NumericColumn reads a whole column — a page-cost read the verb path
+// must charge.
+func (f *File) NumericColumn(col string) ([]float64, []bool, error) {
+	return nil, nil, nil
+}
+
+// Rows is metadata from the cached header, not a read; unconstrained.
+func (f *File) Rows() int { return 0 }

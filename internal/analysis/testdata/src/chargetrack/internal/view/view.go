@@ -1,0 +1,41 @@
+// Package view is the charge-tracking fixture's read path: one charged
+// read, one uncharged read on a verb path (the finding), and one
+// uncharged read no verb reaches.
+package view
+
+import "statdb/internal/colstore"
+
+// Tracer mimics obs.Tracer's charging surface.
+type Tracer struct{}
+
+// Charge accounts ticks to the innermost span and the budget.
+func (t *Tracer) Charge(n int64) {}
+
+// ChargePages accounts page reads to the budget.
+func (t *Tracer) ChargePages(n int64) {}
+
+// View reads columns through a store-backed file.
+type View struct {
+	file   *colstore.File
+	tracer *Tracer
+}
+
+// WarmColumn charges the read's cost; no finding.
+func (v *View) WarmColumn(attr string) ([]float64, []bool, error) {
+	xs, valid, err := v.file.NumericColumn(attr)
+	v.tracer.Charge(int64(len(xs)))
+	return xs, valid, err
+}
+
+// ColdColumn reads without charging, and its only verb-side caller
+// never charges either — the finding lands on the read below.
+func (v *View) ColdColumn(attr string) ([]float64, []bool, error) {
+	return v.file.NumericColumn(attr)
+}
+
+// Audit reads uncharged too, but no query verb reaches it, so the
+// rule does not constrain it; no finding.
+func Audit(v *View) ([]float64, error) {
+	xs, _, err := v.file.NumericColumn("AGE")
+	return xs, err
+}

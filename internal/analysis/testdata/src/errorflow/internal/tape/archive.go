@@ -1,0 +1,59 @@
+// Package tape is an error-flow fixture: error results in library code
+// must be returned, handled, or explicitly discarded under an allow.
+package tape
+
+import "errors"
+
+// ErrMissing reports an absent file.
+var ErrMissing = errors.New("tape: missing file")
+
+// Rows returns the row count of name.
+func Rows(name string) (int, error) {
+	if name == "" {
+		return 0, ErrMissing
+	}
+	return 1, nil
+}
+
+// Flush writes buffered pages back.
+func Flush() error { return nil }
+
+// ListGood propagates the error; no finding.
+func ListGood(names []string) (int, error) {
+	total := 0
+	for _, n := range names {
+		r, err := Rows(n)
+		if err != nil {
+			return 0, err
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// ListBad discards the error slot of a resolved callee; finding.
+func ListBad(names []string) int {
+	total := 0
+	for _, n := range names {
+		r, _ := Rows(n)
+		total += r
+	}
+	return total
+}
+
+// Close drops Flush's error on the floor with a bare call; finding.
+func Close() {
+	Flush()
+}
+
+// CloseAllowed documents the drop; suppressed, no finding.
+func CloseAllowed() {
+	_ = Flush() //lint:allow error-flow shutdown path; nothing can handle it
+}
+
+// Swallowed assigns the error and never looks at it again; finding.
+// (Parse-only fixture: the compiler would reject the unused variable.)
+func Swallowed() int {
+	err := Flush()
+	return 1
+}

@@ -1,0 +1,80 @@
+// Package shard is a lock-confinement fixture: struct fields annotated
+// `// guarded by <mu>` may only be touched with that lock held on every
+// call path, and a go-spawned body must reacquire for itself.
+package shard
+
+import "sync"
+
+// Store mirrors the real shard.Store: a mutex and the state it guards.
+type Store struct {
+	mu     sync.Mutex
+	health map[string]int // guarded by mu
+	fails  int            // guarded by mu
+	label  string         // immutable after construction; unconstrained
+}
+
+// NewStore initializes a fresh value; nothing else can see it yet, so
+// the unguarded writes are exempt.
+func NewStore(label string) *Store {
+	s := &Store{health: map[string]int{}, label: label}
+	s.health["seed"] = 1
+	return s
+}
+
+// Mark locks before touching guarded state; no finding.
+func (s *Store) Mark(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health[name]++
+	s.bump()
+}
+
+// bump never locks, but its only caller holds mu — the interprocedural
+// fixpoint proves the lock is held on every path in; no finding.
+func (s *Store) bump() {
+	s.fails++
+}
+
+// Peek reads guarded state with no lock anywhere on the path; finding.
+func (s *Store) Peek(name string) int {
+	return s.health[name]
+}
+
+// Refresh spawns a goroutine from inside a critical section: the
+// spawner's lock does not extend into the spawned body, so the touch
+// inside is a finding.
+func (s *Store) Refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.fails = 0
+	}()
+}
+
+// RefreshLocked reacquires inside the goroutine; no finding.
+func (s *Store) RefreshLocked() {
+	go func() {
+		s.mu.Lock()
+		s.fails = 0
+		s.mu.Unlock()
+	}()
+}
+
+// workerState mirrors shardState: its health fields are guarded by the
+// owning Store's lock, named cross-struct.
+type workerState struct {
+	id    int
+	fails int // guarded by Store.mu
+}
+
+// Note locks the owner, then marks the worker; no finding.
+func (s *Store) Note(w *workerState) {
+	s.mu.Lock()
+	w.fails++
+	s.mu.Unlock()
+}
+
+// Clear touches the worker without the owner's lock; finding.
+func Clear(w *workerState) {
+	w.fails = 0
+}

@@ -1,0 +1,31 @@
+// Forwarding cases for the PR 10 interprocedural upgrade: handing a
+// span to a resolved callee only balances if that callee closes it.
+package summary
+
+// finish closes the span it is handed; forwarding into it balances.
+func finish(sp *Span) { sp.End() }
+
+// relay hands the span one hop further; the chain still balances.
+func relay(sp *Span) { finish(sp) }
+
+// ignore touches the span but never ends it.
+func ignore(sp *Span) { sp.SetAttr("k", "v") }
+
+// ForwardClose hands the span to a callee that ends it; no finding.
+func ForwardClose(tr *Tracer) {
+	sp := tr.Begin("fold")
+	finish(sp)
+}
+
+// ForwardChain balances through two hops; no finding.
+func ForwardChain(tr *Tracer) {
+	sp := tr.Begin("fold")
+	relay(sp)
+}
+
+// ForwardLeak hands the span to a resolved callee that ignores it — a
+// leak the intra-procedural rule could not see; finding at the Begin.
+func ForwardLeak(tr *Tracer) {
+	sp := tr.Begin("fold")
+	ignore(sp)
+}

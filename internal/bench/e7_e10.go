@@ -91,7 +91,7 @@ func E8Sampling() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	popMed, _ := stats.Median(xs, valid)
+	popMed, _ := stats.Median(xs, valid) //lint:allow error-flow census SALARY is non-empty by construction
 	t := &Table{
 		ID:     "E8",
 		Title:  "Sampling vs full scan for exploratory analysis",
@@ -112,10 +112,10 @@ func E8Sampling() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		smed, _ := stats.Median(sample, nil)
+		smed, _ := stats.Median(sample, nil) //lint:allow error-flow sample size is >= 1 by construction
 		meanErr := math.Abs(sm-pop) / pop * 100
 		medErr := math.Abs(smed-popMed) / popMed * 100
-		sd, _ := stats.StdDev(xs, valid)
+		sd, _ := stats.StdDev(xs, valid) //lint:allow error-flow census SALARY is non-empty by construction
 		expected := sd / math.Sqrt(float64(k)) / pop * 100
 		t.AddRow(fmt.Sprintf("%.3f", frac), k,
 			fmt.Sprintf("%.3f", meanErr), fmt.Sprintf("%.3f", medErr),
@@ -241,10 +241,10 @@ func E10Abstract() (*Table, error) {
 		Header: []string{"function", "exact", "abstract estimate", "rel. error %", "within stated bound"},
 	}
 	exact := map[string]float64{}
-	exact["mean"], _ = stats.Mean(xs, valid)
-	exact["median"], _ = stats.Median(xs, valid)
-	exact["q1"], _ = stats.Quantile(xs, valid, 0.25)
-	exact["q3"], _ = stats.Quantile(xs, valid, 0.75)
+	exact["mean"], _ = stats.Mean(xs, valid)         //lint:allow error-flow census SALARY is non-empty by construction
+	exact["median"], _ = stats.Median(xs, valid)     //lint:allow error-flow census SALARY is non-empty by construction
+	exact["q1"], _ = stats.Quantile(xs, valid, 0.25) //lint:allow error-flow census SALARY is non-empty by construction
+	exact["q3"], _ = stats.Quantile(xs, valid, 0.75) //lint:allow error-flow census SALARY is non-empty by construction
 	exact["sum"] = stats.Sum(xs, valid)
 	for _, fn := range []string{"mean", "sum", "q1", "median", "q3"} {
 		e, err := ab.Estimate(fn)

@@ -27,11 +27,11 @@ type DBMS struct {
 	archive  *tape.Archive
 	mdb      *rules.ManagementDB
 	metaG    *meta.Graph
-	views    map[string]*view.View
-	analysts map[string]*Analyst
+	views    map[string]*view.View // guarded by mu
+	analysts map[string]*Analyst   // guarded by mu
 	// parallelism sizes the execution pools of views built through this
 	// DBMS: materialization pipelines and Summary Database recomputes.
-	parallelism int
+	parallelism int // guarded by mu
 	// metrics is the system-wide registry every view built through this
 	// DBMS reports into; tracer collects per-query span trees. Storage
 	// counters live in per-pool registries and are merged by Metrics().
@@ -42,15 +42,15 @@ type DBMS struct {
 	profiles *obs.ProfileRing
 	// maxTicks/maxPages are the per-query resource ceilings executors
 	// apply when they open a statement budget (0 = unlimited).
-	maxTicks int64
-	maxPages int64
+	maxTicks int64 // guarded by mu
+	maxPages int64 // guarded by mu
 	// runThreshold is the runs/rows planner ceiling views built through
 	// this DBMS inherit for run-aware compressed execution (0 = the view
 	// default, negative = disabled).
-	runThreshold float64
+	runThreshold float64 // guarded by mu
 	// gate is the admission layer executors pass every statement
 	// through; nil (the default) admits everything immediately.
-	gate *Gate
+	gate *Gate // guarded by mu
 }
 
 // New creates a DBMS over an empty tape archive with default cost models.

@@ -81,7 +81,7 @@ type Gate struct {
 	sem chan struct{}
 
 	mu     sync.Mutex
-	queued int
+	queued int // guarded by mu
 
 	mAdmitted *obs.Counter
 	mShed     *obs.Counter

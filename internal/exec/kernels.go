@@ -132,6 +132,7 @@ func ColumnMoments(p *Pool, xs []float64, valid []bool, chunk int) Moments {
 	}
 	parts := make([]Moments, len(ranges))
 	// Slicing can't fail; Run's error path is unused here.
+	//lint:allow error-flow the range kernel below never returns an error
 	_ = p.RunRanges(ranges, func(c int, r Range) error {
 		if valid == nil {
 			parts[c] = FoldMoments(xs[r.Lo:r.Hi], nil)
@@ -196,6 +197,7 @@ func ColumnFreq(p *Pool, xs []float64, valid []bool, chunk int) Freq {
 		return FoldFreq(xs, valid)
 	}
 	parts := make([]Freq, len(ranges))
+	//lint:allow error-flow the range kernel below never returns an error
 	_ = p.RunRanges(ranges, func(c int, r Range) error {
 		if valid == nil {
 			parts[c] = FoldFreq(xs[r.Lo:r.Hi], nil)
@@ -264,6 +266,7 @@ func ColumnHist(p *Pool, xs []float64, valid []bool, edges []float64, chunk int)
 		return FoldHist(xs, valid, edges)
 	}
 	parts := make([][]int64, len(ranges))
+	//lint:allow error-flow the range kernel below never returns an error
 	_ = p.RunRanges(ranges, func(c int, r Range) error {
 		if valid == nil {
 			parts[c] = FoldHist(xs[r.Lo:r.Hi], nil, edges)

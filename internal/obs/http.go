@@ -110,7 +110,7 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			fmt.Fprintln(w, "ok")
 			return
 		}
-		_ = cfg.SLO.Status().WriteText(w)
+		_ = cfg.SLO.Status().WriteText(w) //lint:allow error-flow best-effort write to an HTTP client
 	})
 	mux.HandleFunc("/profilez", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
@@ -129,7 +129,7 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			fmt.Fprintln(w, "(no profiles)")
 			return
 		}
-		_ = cfg.Profiles.WriteText(w, 0)
+		_ = cfg.Profiles.WriteText(w, 0) //lint:allow error-flow best-effort write to an HTTP client
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -164,7 +164,7 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			if i > 0 {
 				fmt.Fprintln(w)
 			}
-			_ = WriteTree(w, root)
+			_ = WriteTree(w, root) //lint:allow error-flow best-effort write to an HTTP client
 		}
 	})
 	return mux

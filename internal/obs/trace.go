@@ -179,7 +179,7 @@ type TextSink struct {
 }
 
 // Emit implements Sink.
-func (t TextSink) Emit(root *Span) { _ = WriteTree(t.W, root) }
+func (t TextSink) Emit(root *Span) { _ = WriteTree(t.W, root) } //lint:allow error-flow sink writes are best-effort by contract
 
 // Tracer builds span trees. Begin pushes onto an internal stack, so
 // nesting follows call structure without threading span handles through

@@ -73,6 +73,7 @@ func GroupByWith(p *exec.Pool, ds *dataset.Dataset, keys []string, aggs []Agg, c
 		return emitGroups(sch, cols, foldGroups(ds, keyIdx, cols, 0, n))
 	}
 	parts := make([]groupPartition, len(ranges))
+	//lint:allow error-flow the fold below never returns an error
 	_ = p.RunRanges(ranges, func(c int, r exec.Range) error {
 		parts[c] = foldGroups(ds, keyIdx, cols, r.Lo, r.Hi)
 		return nil

@@ -324,7 +324,7 @@ func (s *Store) Freq(col string) (exec.Freq, Report, error) {
 // per-range spans stitched under the shard's span via h. fn must only
 // write state owned by the chunk (the scatter contract).
 func (sh *shardState) foldColumn(h exec.SpanHook, col string, fn func(global int, xs []float64, valid []bool)) error {
-	xs, valid, err := sh.file.NumericColumn(col)
+	xs, valid, err := sh.file.NumericColumn(col) //lint:allow charge-tracking runShardOp charges the measured ticks around the whole op
 	if err != nil {
 		return err
 	}

@@ -153,10 +153,9 @@ type shardState struct {
 	chunks []chunkRef
 	rows   int
 
-	// Guarded by Store.mu.
-	health  Health
-	fails   int    // consecutive failures
-	ckptGen uint64 // shadow generation of the last checkpointed partials
+	health  Health // guarded by Store.mu
+	fails   int    // guarded by Store.mu; consecutive failures
+	ckptGen uint64 // guarded by Store.mu; shadow generation of the last checkpointed partials
 }
 
 // chunkRef ties a global chunk to its slice of the shard-local rows.

@@ -74,7 +74,7 @@ func Variance(xs []float64, valid []bool) (float64, error) {
 	if n < 2 {
 		return 0, fmt.Errorf("stats: variance needs >= 2 observations, have %d", n)
 	}
-	m, _ := Mean(xs, valid)
+	m, _ := Mean(xs, valid) //lint:allow error-flow n >= 2 was checked above
 	ss := 0.0
 	for i, x := range xs {
 		if valid == nil || valid[i] {
@@ -138,7 +138,7 @@ func Range(xs []float64, valid []bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	hi, _ := Max(xs, valid)
+	hi, _ := Max(xs, valid) //lint:allow error-flow Min succeeded, so Max cannot fail
 	return hi - lo, nil
 }
 
@@ -222,7 +222,7 @@ func Summarize(xs []float64, valid []bool) (Summary, error) {
 		return Summary{}, ErrNoData
 	}
 	s := Summary{N: len(vals), Missing: len(xs) - len(vals)}
-	s.Mean, _ = Mean(xs, valid)
+	s.Mean, _ = Mean(xs, valid) //lint:allow error-flow vals is non-empty, checked above
 	if sd, err := StdDev(xs, valid); err == nil {
 		s.SD = sd
 	} else {
@@ -233,7 +233,7 @@ func Summarize(xs []float64, valid []bool) (Summary, error) {
 	s.Median = quantileSorted(vals, 0.5)
 	s.Q1 = quantileSorted(vals, 0.25)
 	s.Q3 = quantileSorted(vals, 0.75)
-	s.Mode, _, _ = Mode(xs, valid)
+	s.Mode, _, _ = Mode(xs, valid) //lint:allow error-flow vals is non-empty, checked above
 	s.Unique = UniqueCount(xs, valid)
 	return s, nil
 }

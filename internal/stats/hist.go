@@ -67,7 +67,7 @@ func NewHistogram(xs []float64, valid []bool, bins int) (*Histogram, error) {
 	if err != nil {
 		return nil, err
 	}
-	hi, _ := Max(xs, valid)
+	hi, _ := Max(xs, valid) //lint:allow error-flow Min succeeded, so Max cannot fail
 	if lo == hi {
 		hi = lo + 1 // degenerate range: one unit-wide bin
 	}

@@ -39,7 +39,7 @@ func SummarizeChunks(p *exec.Pool, xs []float64, valid []bool, chunk int) (Summa
 		return Summary{}, ErrNoData
 	}
 	s := Summary{N: int(m.N), Missing: int(m.Missing), Min: m.Min, Max: m.Max}
-	s.Mean, _ = m.MeanValue()
+	s.Mean, _ = m.MeanValue() //lint:allow error-flow m.N > 0 was checked above
 	if sd, err := m.SD(); err == nil {
 		s.SD = sd
 	} else {

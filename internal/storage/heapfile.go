@@ -51,11 +51,11 @@ func (h *HeapFile) fetchSlotted(id PageID) (*Page, error) {
 	}
 	if p.Version() == 1 {
 		if err := p.UpgradeLegacy(id); err != nil {
-			_ = h.pool.Unpin(id, false)
+			_ = h.pool.Unpin(id, false) //lint:allow error-flow unpin on the error path; the original error wins
 			return nil, err
 		}
 		if err := h.pool.MarkDirty(id); err != nil {
-			_ = h.pool.Unpin(id, false)
+			_ = h.pool.Unpin(id, false) //lint:allow error-flow unpin on the error path; the original error wins
 			return nil, err
 		}
 	}
@@ -99,7 +99,7 @@ func (h *HeapFile) Insert(row dataset.Row) (RID, error) {
 	}
 	slot, err := p.Insert(rec)
 	if err != nil {
-		_ = h.pool.Unpin(id, false)
+		_ = h.pool.Unpin(id, false) //lint:allow error-flow unpin on the error path; the original error wins
 		return RID{}, err
 	}
 	h.pages = append(h.pages, id)
@@ -116,7 +116,7 @@ func (h *HeapFile) Get(rid RID) (dataset.Row, error) {
 	}
 	rec, err := p.Get(rid.Slot)
 	if err != nil {
-		_ = h.pool.Unpin(rid.Page, false)
+		_ = h.pool.Unpin(rid.Page, false) //lint:allow error-flow unpin on the error path; the original error wins
 		return nil, err
 	}
 	row, err := DecodeRow(rec, h.schema.Len())
@@ -183,12 +183,12 @@ func (h *HeapFile) Scan(fn func(rid RID, row dataset.Row) bool) error {
 				continue
 			}
 			if err != nil {
-				_ = h.pool.Unpin(id, false)
+				_ = h.pool.Unpin(id, false) //lint:allow error-flow unpin on the error path; the original error wins
 				return err
 			}
 			row, err := DecodeRow(rec, h.schema.Len())
 			if err != nil {
-				_ = h.pool.Unpin(id, false)
+				_ = h.pool.Unpin(id, false) //lint:allow error-flow unpin on the error path; the original error wins
 				return &CorruptError{Page: id, Slot: s, Off: -1,
 					Detail: "row codec", Cause: err}
 			}

@@ -94,10 +94,10 @@ func entryKey(fn string, attrs []string) []byte {
 type DB struct {
 	mu       sync.Mutex
 	mdb      *rules.ManagementDB
-	policy   Policy
-	idx      *index.BTree // (attr..., fn) -> slot
-	entries  []*entry
-	counters Counters
+	policy   Policy       // guarded by mu
+	idx      *index.BTree // guarded by mu; (attr..., fn) -> slot
+	entries  []*entry     // guarded by mu
+	counters Counters     // guarded by mu
 	// System-wide observability: met mirrors counters into a shared
 	// registry (summary.* families) and tracer carries the per-query
 	// span tree. Both no-op until SetMetrics/SetTracer wire them.

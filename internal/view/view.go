@@ -64,12 +64,12 @@ type View struct {
 	mdb      *rules.ManagementDB
 	sdb      *summary.DB
 	history  *rules.History
-	undoMode UndoMode
-	base     *dataset.Dataset // snapshot for UndoReplay
-	replay   []replayOp       // parallel to history records
+	undoMode UndoMode         // guarded by mu
+	base     *dataset.Dataset // guarded by mu; snapshot for UndoReplay
+	replay   []replayOp       // guarded by mu; parallel to history records
 	// Access-pattern tracking for dynamic reorganization (Section 2.7).
-	columnScans map[string]int64
-	rowReads    int64
+	columnScans map[string]int64 // guarded by scanMu
+	rowReads    int64            // guarded by scanMu
 	// System-wide observability (nil handles no-op): tracer receives
 	// view.compute spans and scan charges; the counters mirror the
 	// access-pattern tallies into the shared registry.
@@ -79,10 +79,10 @@ type View struct {
 	// store, when attached, services column/row reads through a
 	// cost-accounted storage structure and receives write-through
 	// updates (Sections 2.6-2.7).
-	store *store
+	store *store // guarded by mu
 	// shards, when attached, is the scatter-gather partitioned backing
 	// (see sharded.go); a read-path copy like the transposed store.
-	shards *shard.Store
+	shards *shard.Store // guarded by mu
 	// runThreshold is the planner's runs/rows ceiling for the run-native
 	// fold strategy (negative disables it; see Options.RunThreshold).
 	runThreshold float64
@@ -432,7 +432,15 @@ func (v *View) Column(attr string) ([]float64, []bool, error) {
 func (v *View) column(attr string) ([]float64, []bool, error) {
 	v.countScan(attr)
 	if v.store != nil {
-		return v.store.readColumn(v.data, attr)
+		// Charge the device's measured cost like columnSource does:
+		// analysis verbs read through here, and an unmetered store read
+		// is invisible to EXPLAIN and the query budget.
+		before := v.store.dev.Stats()
+		xs, valid, err := v.store.readColumn(v.data, attr)
+		after := v.store.dev.Stats()
+		v.tracer.Charge(after.Ticks - before.Ticks)
+		v.tracer.ChargePages(after.Reads - before.Reads)
+		return xs, valid, err
 	}
 	return v.data.NumericByName(attr)
 }
@@ -485,9 +493,9 @@ func (v *View) updateWhere(attr string, pred relalg.Predicate, value dataset.Val
 	// leaves a torn, unrecorded update.
 	revert := func() {
 		for _, ch := range changes {
-			_ = v.data.SetCell(ch.Row, ci, ch.Old)
+			_ = v.data.SetCell(ch.Row, ci, ch.Old) //lint:allow error-flow revert restores cells that held these values
 			if v.store != nil {
-				_ = v.store.writeCell(v.data, ch.Row, attr, ch.Old)
+				_ = v.store.writeCell(v.data, ch.Row, attr, ch.Old) //lint:allow error-flow revert is best-effort; the batch error wins
 			}
 		}
 	}
@@ -574,7 +582,7 @@ func (v *View) propagate(attr string, changes []rules.CellChange, deltas []incr.
 					continue
 				}
 				if v.store != nil {
-					_ = v.store.writeCell(v.data, ch.Row, rule.Attr, nv)
+					_ = v.store.writeCell(v.data, ch.Row, rule.Attr, nv) //lint:allow error-flow derived write-behind; summaries are invalidated regardless
 				}
 				derivedDeltas = append(derivedDeltas, deltaFor(old, nv))
 			}
@@ -592,9 +600,9 @@ func (v *View) propagate(attr string, changes []rules.CellChange, deltas []incr.
 				continue
 			}
 			for r, nv := range vals {
-				_ = v.data.SetCell(r, di, nv)
+				_ = v.data.SetCell(r, di, nv) //lint:allow error-flow regenerate length was checked above
 				if v.store != nil {
-					_ = v.store.writeCell(v.data, r, rule.Attr, nv)
+					_ = v.store.writeCell(v.data, r, rule.Attr, nv) //lint:allow error-flow derived write-behind; summaries are invalidated regardless
 				}
 			}
 			v.sdb.Invalidate(rule.Attr)
